@@ -1,0 +1,12 @@
+"""A1 — ablation: the narrow substitution rule is required for agreement."""
+
+from repro.harness.ablations import a1_substitution_rule
+
+
+def test_a1_substitution_rule(benchmark):
+    result = benchmark.pedantic(a1_substitution_rule, rounds=1, iterations=1)
+    narrow = [r for r in result.rows if r["substitution"] == "narrow"]
+    broad = [r for r in result.rows if r["substitution"] == "broad"]
+    assert all(r["agreement"] == 1.0 for r in narrow)
+    # The broad rule must be demonstrably unsound (agreement fails somewhere).
+    assert any(r["agreement"] < 1.0 for r in broad)

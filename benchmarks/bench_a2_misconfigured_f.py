@@ -1,0 +1,14 @@
+"""A2 — ablation: classic known-f reliable broadcast vs a wrong fault bound."""
+
+from repro.harness.ablations import a2_misconfigured_fault_bound
+
+
+def test_a2_misconfigured_fault_bound(benchmark):
+    result = benchmark.pedantic(a2_misconfigured_fault_bound, rounds=1, iterations=1)
+    by_f = {row["assumed_f"]: row for row in result.rows}
+    # Correctly configured (assumed_f >= real f): no forgeries.
+    assert by_f[3]["classic_accepts_forgery"] == 0.0
+    # Underestimated f: forgeries get accepted by the classic algorithm…
+    assert by_f[0]["classic_accepts_forgery"] > 0.0
+    # …while the id-only algorithm never accepts one on the same workload.
+    assert all(row["id_only_accepts_forgery"] == 0.0 for row in result.rows)

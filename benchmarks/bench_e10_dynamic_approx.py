@@ -1,0 +1,9 @@
+"""E10 — iterated approximate agreement under churn keeps contracting the range."""
+
+from conftest import rate
+
+
+def test_e10_dynamic_approx(run_one):
+    result = run_one("E10")
+    assert rate(result.rows, "contracted") == 1.0
+    assert rate(result.rows, "outputs_in_range") == 1.0

@@ -1,0 +1,11 @@
+"""E1 — reliable broadcast: Theorem 1's three properties across n, f and adversaries."""
+
+from conftest import rate
+
+
+def test_e1_reliable_broadcast(run_one):
+    result = run_one("E1")
+    assert result.rows
+    assert rate(result.rows, "correctness") == 1.0
+    assert rate(result.rows, "relay") == 1.0
+    assert rate(result.rows, "no_forgery") == 1.0

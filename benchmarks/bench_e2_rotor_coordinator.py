@@ -1,0 +1,11 @@
+"""E2 — rotor-coordinator: O(n) termination and good rounds (Theorem 2)."""
+
+from conftest import rate
+
+
+def test_e2_rotor_coordinator(run_one):
+    result = run_one("E2")
+    assert rate(result.rows, "terminated") == 1.0
+    assert rate(result.rows, "good_round") == 1.0
+    # O(n): the rounds/n ratio stays bounded by a small constant across sizes.
+    assert max(row["rounds_over_n"] for row in result.rows) < 3.0

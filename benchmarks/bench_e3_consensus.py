@@ -1,0 +1,9 @@
+"""E3 — consensus: agreement, validity and O(f) rounds (Theorem 3)."""
+
+from conftest import rate
+
+
+def test_e3_consensus(run_one):
+    result = run_one("E3")
+    assert rate(result.rows, "agreement") == 1.0
+    assert rate(result.rows, "validity") == 1.0

@@ -1,0 +1,10 @@
+"""E4 — approximate agreement: range containment and per-round halving (Theorem 4)."""
+
+from conftest import rate
+
+
+def test_e4_approximate_agreement(run_one):
+    result = run_one("E4")
+    assert rate(result.rows, "outputs_in_range") == 1.0
+    assert rate(result.rows, "range_reduced") == 1.0
+    assert max(row["per_round_contraction"] for row in result.rows) <= 0.5 + 1e-9

@@ -1,0 +1,10 @@
+"""E5 — resiliency boundary: guarantees hold iff n > 3f."""
+
+
+def test_e5_resiliency_boundary(run_one):
+    result = run_one("E5")
+    inside = [r for r in result.rows if r["resilient_config"]]
+    outside = [r for r in result.rows if not r["resilient_config"]]
+    assert all(r["agreement"] == 1.0 for r in inside)
+    # Outside the paper's assumption the adversary wins at least sometimes.
+    assert any(r["agreement"] < 1.0 or r["validity"] < 1.0 for r in outside)

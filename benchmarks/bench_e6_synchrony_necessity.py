@@ -1,0 +1,9 @@
+"""E6 — synchrony necessity: the Lemma 14/15 executions disagree; the synchronous control agrees."""
+
+
+def test_e6_synchrony_necessity(run_one):
+    result = run_one("E6")
+    by_model = {row["model"]: row for row in result.rows}
+    assert by_model["asynchronous"]["disagreement"] == 1.0
+    assert by_model["semi-synchronous"]["disagreement"] == 1.0
+    assert by_model["synchronous-control"]["agreement"] == 1.0

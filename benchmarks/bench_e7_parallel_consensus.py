@@ -1,0 +1,10 @@
+"""E7 — parallel consensus: validity/agreement/termination across k instances (Theorem 5)."""
+
+from conftest import rate
+
+
+def test_e7_parallel_consensus(run_one):
+    result = run_one("E7")
+    assert rate(result.rows, "terminated") == 1.0
+    assert rate(result.rows, "agreement") == 1.0
+    assert rate(result.rows, "validity") == 1.0

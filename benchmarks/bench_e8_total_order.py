@@ -1,0 +1,9 @@
+"""E8 — dynamic total ordering: chain-prefix and chain-growth under churn (Theorem 6)."""
+
+from conftest import rate
+
+
+def test_e8_total_order(run_one):
+    result = run_one("E8")
+    assert rate(result.rows, "chain_prefix") == 1.0
+    assert rate(result.rows, "chain_grew") == 1.0

@@ -1,0 +1,16 @@
+"""E9 — id-only vs classic known-(n, f) algorithms: complexity essentially unchanged."""
+
+from conftest import rate
+
+
+def test_e9_vs_baselines(run_one):
+    result = run_one("E9")
+    assert rate(result.rows, "cons_idonly_agree") == 1.0
+    assert rate(result.rows, "cons_classic_agree") == 1.0
+    # Message complexity of reliable broadcast stays within a small constant
+    # factor of the classic algorithm (the paper argues it is unchanged).
+    assert all(row["rb_msg_ratio"] < 2.0 for row in result.rows)
+    # The id-only consensus pays at most a small constant-factor round
+    # overhead for the embedded rotor-coordinator.
+    for row in result.rows:
+        assert row["cons_idonly_rounds"] <= 3 * row["cons_classic_rounds"] + 10

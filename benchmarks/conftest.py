@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark module regenerates one experiment from DESIGN.md §2 (the
+paper has no numerical tables/figures, so these experiments *are* the
+evaluation).  ``pytest-benchmark`` measures the wall-clock cost of one full
+experiment sweep; the benchmark body also asserts the experiment's headline
+property so a regression in correctness fails the benchmark run, not just
+the timing.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+@pytest.fixture
+def run_one(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(experiment_id: str, scale: int = 1):
+        return benchmark.pedantic(
+            run_experiment, args=(experiment_id,), kwargs={"scale": scale}, rounds=1, iterations=1
+        )
+
+    return _run
+
+
+def rate(rows, column):
+    """Average value of a rate column across aggregated rows."""
+
+    values = [row[column] for row in rows if column in row]
+    return sum(values) / len(values) if values else float("nan")

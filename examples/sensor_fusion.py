@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Sensor fusion with iterated approximate agreement.
+
+A wireless sensor network measures a physical quantity (say, temperature).
+Sensors drift, some are compromised, nodes join and drop out — and crucially
+nobody knows how many sensors are currently alive or how many are
+compromised.  The iterated id-only approximate-agreement algorithm
+(Algorithm 4, used as in Section XI) lets every correct sensor converge to
+a common estimate that is guaranteed to lie inside the range of the correct
+readings, no matter what the compromised sensors report.
+
+Run with::
+
+    python examples/sensor_fusion.py
+"""
+
+from __future__ import annotations
+
+from repro.adversary import make_strategy
+from repro.analysis import render_table
+from repro.core.approximate_agreement import IteratedApproximateAgreementProcess
+from repro.workloads import build_network, sparse_ids, split_correct_byzantine
+
+
+def main() -> None:
+    n, f = 16, 5                      # 16 sensors, up to 5 compromised (n > 3f)
+    iterations = 8
+    ids = sparse_ids(n, seed=99)
+    correct, byzantine = split_correct_byzantine(ids, f, seed=42)
+
+    # True temperature is ~21.5°C; correct sensors read it with drift.
+    readings = {node: 21.5 + ((hash(node) % 100) - 50) / 25.0 for node in correct}
+
+    spec = build_network(
+        correct_factory=lambda node: IteratedApproximateAgreementProcess(
+            node, input_value=readings[node], iterations=iterations
+        ),
+        correct_ids=correct,
+        byzantine_ids=byzantine,
+        # Compromised sensors report ±1e9 "degrees", different per receiver.
+        strategy=make_strategy("approx-outlier"),
+        seed=1,
+    )
+    spec.network.run(max_rounds=iterations + 3, stop_when=lambda net: False)
+
+    histories = {node: spec.network.process(node).history for node in correct}
+    rows = []
+    for iteration in range(iterations + 1):
+        values = [history[iteration] for history in histories.values()]
+        rows.append(
+            {
+                "iteration": iteration,
+                "min estimate": round(min(values), 4),
+                "max estimate": round(max(values), 4),
+                "spread": round(max(values) - min(values), 5),
+            }
+        )
+
+    print(f"{len(correct)} correct sensors, {len(byzantine)} compromised, "
+          f"{iterations} fusion iterations\n")
+    print(render_table(rows, title="convergence of the fused estimate"))
+    in_lo, in_hi = min(readings.values()), max(readings.values())
+    finals = [h[-1] for h in histories.values()]
+    print(f"\ncorrect readings ranged over [{in_lo:.3f}, {in_hi:.3f}] °C")
+    print(f"final estimates range over   [{min(finals):.3f}, {max(finals):.3f}] °C")
+    print("every estimate stays inside the correct range despite the ±1e9° lies,")
+    print("and the spread halves (at least) every iteration.")
+
+
+if __name__ == "__main__":
+    main()

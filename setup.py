@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and its setuptools cannot build wheels
+(PEP 517 editable installs need the ``wheel`` package).  Keeping a plain
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works without network access.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — Byzantine agreement with unknown participants and failures.
+
+A reproduction of Khanchandani & Wattenhofer, *Byzantine Agreement with
+Unknown Participants and Failures* (IPDPS 2021, arXiv:2102.10442): the
+id-only agreement algorithms (reliable broadcast, rotor-coordinator,
+consensus, approximate agreement, parallel consensus, dynamic total
+ordering), the synchronous round-based simulator they run on, Byzantine
+adversary strategies, classic known-(n, f) baselines, and the experiment
+harness that regenerates the evaluation described in ``DESIGN.md``.
+
+Quick start::
+
+    from repro import consensus_system
+
+    spec = consensus_system(n=10, f=3, strategy="consensus-split-vote", seed=1)
+    result = spec.network.run(max_rounds=100)
+    print(result.decided_outputs())
+"""
+
+from . import adversary, analysis, baselines, core, dynamic, harness, sim, workloads
+from .core import (
+    ApproximateAgreementProcess,
+    ConsensusProcess,
+    IteratedApproximateAgreementProcess,
+    ParallelConsensusProcess,
+    ReliableBroadcastProcess,
+    RotorCoordinatorProcess,
+    TotalOrderProcess,
+)
+from .harness import run_experiment, run_many
+from .sim import SynchronousNetwork
+from .workloads import (
+    approximate_agreement_system,
+    consensus_system,
+    reliable_broadcast_system,
+    rotor_coordinator_system,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproximateAgreementProcess",
+    "ConsensusProcess",
+    "IteratedApproximateAgreementProcess",
+    "ParallelConsensusProcess",
+    "ReliableBroadcastProcess",
+    "RotorCoordinatorProcess",
+    "SynchronousNetwork",
+    "TotalOrderProcess",
+    "__version__",
+    "adversary",
+    "analysis",
+    "approximate_agreement_system",
+    "baselines",
+    "consensus_system",
+    "core",
+    "dynamic",
+    "harness",
+    "reliable_broadcast_system",
+    "rotor_coordinator_system",
+    "run_experiment",
+    "run_many",
+    "sim",
+    "workloads",
+]

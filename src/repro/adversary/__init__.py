@@ -1,0 +1,50 @@
+"""Byzantine adversary strategies and the Byzantine process wrapper."""
+
+from .base import AdversaryContext, AdversaryStrategy, ByzantineProcess, send_split
+from .protocol_attacks import (
+    CandidateStufferStrategy,
+    EquivocatingSenderStrategy,
+    FalseEchoStrategy,
+    ForgedSourceEchoStrategy,
+    OutlierValueStrategy,
+    SplitEchoStrategy,
+    SplitVoteStrategy,
+    StrongPreferSpooferStrategy,
+    UsurperCoordinatorStrategy,
+)
+from .registry import STRATEGY_FACTORIES, available_strategies, make_strategy
+from .strategies import (
+    CrashStrategy,
+    DelayedStrategy,
+    EquivocateValueStrategy,
+    MimicStrategy,
+    RandomNoiseStrategy,
+    ReplayStrategy,
+    SilentStrategy,
+)
+
+__all__ = [
+    "AdversaryContext",
+    "AdversaryStrategy",
+    "ByzantineProcess",
+    "CandidateStufferStrategy",
+    "CrashStrategy",
+    "DelayedStrategy",
+    "EquivocateValueStrategy",
+    "EquivocatingSenderStrategy",
+    "FalseEchoStrategy",
+    "ForgedSourceEchoStrategy",
+    "MimicStrategy",
+    "OutlierValueStrategy",
+    "RandomNoiseStrategy",
+    "ReplayStrategy",
+    "STRATEGY_FACTORIES",
+    "SilentStrategy",
+    "SplitEchoStrategy",
+    "SplitVoteStrategy",
+    "StrongPreferSpooferStrategy",
+    "UsurperCoordinatorStrategy",
+    "available_strategies",
+    "make_strategy",
+    "send_split",
+]

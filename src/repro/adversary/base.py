@@ -1,0 +1,147 @@
+"""Byzantine process machinery.
+
+A Byzantine node in the simulator is a :class:`ByzantineProcess` — an
+ordinary :class:`~repro.sim.node.Process` whose behaviour is supplied by an
+:class:`AdversaryStrategy`.  The strategy receives an
+:class:`AdversaryContext` each round containing:
+
+* its own inbox (Byzantine nodes receive messages like everyone else);
+* the accumulated set of node identifiers it has heard from;
+* optionally, an omniscient :class:`~repro.sim.network.SystemView` with the
+  full membership and read access to the correct processes' public state
+  (strongest possible adversary, as the paper's proofs assume);
+* its own random generator and a persistent ``memory`` dict for
+  stateful strategies.
+
+Strategies return a list of :class:`~repro.sim.messages.Broadcast` /
+:class:`~repro.sim.messages.Unicast` actions, so equivocation (sending
+different payloads to different destinations) is expressed directly with
+unicasts.  The one thing a strategy can *not* do is forge the sender field —
+the network stamps the true identifier on every envelope, exactly as the
+model prescribes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..sim.messages import Broadcast, NodeId, Outgoing, Payload, Unicast
+from ..sim.network import SystemView
+from ..sim.node import Process, RoundView
+from ..sim.rng import make_rng
+
+__all__ = ["AdversaryContext", "AdversaryStrategy", "ByzantineProcess", "send_split"]
+
+
+@dataclass
+class AdversaryContext:
+    """Everything an adversary strategy may look at in one round."""
+
+    node_id: NodeId
+    view: RoundView
+    known_ids: frozenset[NodeId]
+    system: SystemView | None
+    rng: np.random.Generator
+    memory: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def round_index(self) -> int:
+        return self.view.round_index
+
+    @property
+    def correct_ids(self) -> frozenset[NodeId]:
+        """Correct node identifiers, if the omniscient view is available."""
+
+        if self.system is None:
+            return frozenset()
+        return self.system.correct_ids
+
+    def targets(self) -> list[NodeId]:
+        """A deterministic list of nodes worth sending to.
+
+        Prefers the omniscient membership when available, otherwise falls
+        back to the identifiers this node has heard from (which is all a
+        non-omniscient Byzantine node could know).
+        """
+
+        if self.system is not None:
+            return sorted(self.system.active_ids)
+        return sorted(self.known_ids | {self.node_id})
+
+
+class AdversaryStrategy(abc.ABC):
+    """A pluggable Byzantine behaviour."""
+
+    #: Human-readable name used by the registry and by experiment reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def act(self, ctx: AdversaryContext) -> Sequence[Outgoing]:
+        """Produce this node's messages for the current round."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class ByzantineProcess(Process):
+    """A network participant controlled by an adversary strategy."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        strategy: AdversaryStrategy,
+        *,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(node_id)
+        self._strategy = strategy
+        self._rng = make_rng(seed)
+        self._system: SystemView | None = None
+        self._known: set[NodeId] = set()
+        self._memory: dict[str, Any] = {}
+
+    @property
+    def is_byzantine(self) -> bool:
+        return True
+
+    @property
+    def strategy(self) -> AdversaryStrategy:
+        return self._strategy
+
+    def observe_system(self, system: SystemView) -> None:
+        """Called by the network before each round (omniscient adversary)."""
+
+        self._system = system
+
+    def step(self, view: RoundView) -> Sequence[Outgoing]:
+        self._known.update(view.inbox.senders)
+        ctx = AdversaryContext(
+            node_id=self.node_id,
+            view=view,
+            known_ids=frozenset(self._known),
+            system=self._system,
+            rng=self._rng,
+            memory=self._memory,
+        )
+        return list(self._strategy.act(ctx))
+
+
+def send_split(
+    targets: Sequence[NodeId],
+    payload_a: Payload,
+    payload_b: Payload,
+) -> list[Outgoing]:
+    """Send ``payload_a`` to the first half of ``targets`` and ``payload_b``
+    to the second half — the canonical equivocation pattern.
+    """
+
+    actions: list[Outgoing] = []
+    half = len(targets) // 2
+    for index, dest in enumerate(targets):
+        payload = payload_a if index < half else payload_b
+        actions.append(Unicast(dest, payload))
+    return actions

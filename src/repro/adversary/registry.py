@@ -1,0 +1,72 @@
+"""Name-based registry of adversary strategies.
+
+The experiment harness and workload generators refer to adversary
+behaviours by short names (e.g. ``"silent"``, ``"consensus-split-vote"``)
+so that experiment definitions stay declarative and the full strategy
+matrix can be enumerated programmatically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import AdversaryStrategy
+from .protocol_attacks import (
+    CandidateStufferStrategy,
+    EquivocatingSenderStrategy,
+    FalseEchoStrategy,
+    ForgedSourceEchoStrategy,
+    OutlierValueStrategy,
+    SplitEchoStrategy,
+    SplitVoteStrategy,
+    StrongPreferSpooferStrategy,
+    UsurperCoordinatorStrategy,
+)
+from .strategies import (
+    CrashStrategy,
+    EquivocateValueStrategy,
+    RandomNoiseStrategy,
+    ReplayStrategy,
+    SilentStrategy,
+)
+
+__all__ = ["STRATEGY_FACTORIES", "make_strategy", "available_strategies"]
+
+#: Factories for every registered strategy, keyed by its short name.
+STRATEGY_FACTORIES: dict[str, Callable[[], AdversaryStrategy]] = {
+    "silent": SilentStrategy,
+    "crash": CrashStrategy,
+    "random-noise": RandomNoiseStrategy,
+    "replay": ReplayStrategy,
+    "equivocate-value": EquivocateValueStrategy,
+    "rb-equivocating-sender": EquivocatingSenderStrategy,
+    "rb-false-echo": FalseEchoStrategy,
+    "rb-forged-source": ForgedSourceEchoStrategy,
+    "rotor-candidate-stuffer": CandidateStufferStrategy,
+    "rotor-split-echo": SplitEchoStrategy,
+    "rotor-usurper": UsurperCoordinatorStrategy,
+    "consensus-split-vote": SplitVoteStrategy,
+    "consensus-strongprefer-spoofer": StrongPreferSpooferStrategy,
+    "approx-outlier": OutlierValueStrategy,
+}
+
+
+def make_strategy(name: str, **kwargs) -> AdversaryStrategy:
+    """Instantiate a registered strategy by name.
+
+    Keyword arguments are forwarded to the strategy constructor, so callers
+    can customise e.g. the split values of ``consensus-split-vote``.
+    """
+
+    try:
+        factory = STRATEGY_FACTORIES[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(STRATEGY_FACTORIES))
+        raise KeyError(f"unknown adversary strategy {name!r}; known: {known}") from exc
+    return factory(**kwargs)
+
+
+def available_strategies() -> list[str]:
+    """The names of every registered strategy, sorted."""
+
+    return sorted(STRATEGY_FACTORIES)

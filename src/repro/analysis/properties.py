@@ -1,0 +1,156 @@
+"""Checkers for the correctness properties the paper's theorems state.
+
+These are shared between the test suite and the experiment harness so that
+"the property held in this run" means the same thing in both places.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from ..core.reliable_broadcast import ReliableBroadcastProcess
+from ..core.rotor_coordinator import RotorCoordinatorProcess
+from ..core.total_order import ChainEntry
+from ..sim.messages import NodeId
+
+__all__ = [
+    "consensus_agreement",
+    "consensus_validity",
+    "reliable_broadcast_correctness",
+    "reliable_broadcast_relay",
+    "rotor_good_round_exists",
+    "approx_outputs_in_range",
+    "approx_range_reduced",
+    "chains_are_prefixes",
+    "chain_common_prefix_length",
+]
+
+
+# -- consensus --------------------------------------------------------------------
+
+
+def consensus_agreement(outputs: Mapping[NodeId, Hashable]) -> bool:
+    """Every correct node decided and all decisions are equal."""
+
+    values = list(outputs.values())
+    return bool(values) and all(v is not None for v in values) and len(set(values)) == 1
+
+
+def consensus_validity(
+    outputs: Mapping[NodeId, Hashable], inputs: Mapping[NodeId, Hashable]
+) -> bool:
+    """Decisions are inputs of correct nodes; unanimous inputs force that value."""
+
+    input_values = set(inputs.values())
+    decided = [v for v in outputs.values() if v is not None]
+    if any(v not in input_values for v in decided):
+        return False
+    if len(input_values) == 1 and decided:
+        return all(v == next(iter(input_values)) for v in decided)
+    return True
+
+
+# -- reliable broadcast -------------------------------------------------------------
+
+
+def reliable_broadcast_correctness(
+    processes: Sequence[ReliableBroadcastProcess], message: Hashable, source: NodeId
+) -> bool:
+    """Correctness: every correct node accepted the correct sender's message."""
+
+    return all(p.has_accepted(message, source) for p in processes)
+
+
+def reliable_broadcast_relay(
+    processes: Sequence[ReliableBroadcastProcess],
+) -> bool:
+    """Relay: acceptances of the same ``(m, s)`` are at most one round apart
+    across correct nodes, and a pair accepted anywhere is accepted everywhere."""
+
+    rounds: dict[tuple, list[int]] = {}
+    for process in processes:
+        for record in process.accepted:
+            rounds.setdefault((record.message, record.source), []).append(
+                record.round_index
+            )
+    for accepted_rounds in rounds.values():
+        if len(accepted_rounds) != len(processes):
+            return False
+        if max(accepted_rounds) - min(accepted_rounds) > 1:
+            return False
+    return True
+
+
+# -- rotor-coordinator ----------------------------------------------------------------
+
+
+def rotor_good_round_exists(
+    processes: Sequence[RotorCoordinatorProcess], correct_ids: Sequence[NodeId]
+) -> bool:
+    """A selection index exists where every correct node picked the same
+    *correct* coordinator (Theorem 2's good round)."""
+
+    correct = set(correct_ids)
+    histories = [p.selection_history for p in processes]
+    if not histories or any(not h for h in histories):
+        return False
+    min_len = min(len(h) for h in histories)
+    for index in range(min_len):
+        coordinators = {h[index].coordinator for h in histories}
+        if len(coordinators) == 1 and next(iter(coordinators)) in correct:
+            return True
+    return False
+
+
+# -- approximate agreement ---------------------------------------------------------------
+
+
+def approx_outputs_in_range(
+    outputs: Mapping[NodeId, float], inputs: Mapping[NodeId, float]
+) -> bool:
+    """Property 1 of approximate agreement: outputs inside the correct input range."""
+
+    lo, hi = min(inputs.values()), max(inputs.values())
+    return all(o is not None and lo <= o <= hi for o in outputs.values())
+
+
+def approx_range_reduced(
+    outputs: Mapping[NodeId, float], inputs: Mapping[NodeId, float]
+) -> bool:
+    """Property 2: the output range is strictly smaller than the input range."""
+
+    in_range = max(inputs.values()) - min(inputs.values())
+    out_values = [o for o in outputs.values() if o is not None]
+    if not out_values:
+        return False
+    out_range = max(out_values) - min(out_values)
+    if in_range == 0:
+        return out_range == 0
+    return out_range < in_range
+
+
+# -- total ordering ----------------------------------------------------------------------
+
+
+def chains_are_prefixes(chains: Sequence[Sequence[ChainEntry]]) -> bool:
+    """Chain-prefix: any two chains are prefixes of one another."""
+
+    ordered = sorted(chains, key=len)
+    for shorter, longer in zip(ordered, ordered[1:]):
+        if list(longer[: len(shorter)]) != list(shorter):
+            return False
+    return True
+
+
+def chain_common_prefix_length(chains: Sequence[Sequence[ChainEntry]]) -> int:
+    """Length of the longest common prefix of all chains."""
+
+    if not chains:
+        return 0
+    length = 0
+    for entries in zip(*chains):
+        if all(e == entries[0] for e in entries):
+            length += 1
+        else:
+            break
+    return length

@@ -1,0 +1,76 @@
+"""Small statistics helpers for experiment aggregation."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["mean", "stdev", "fraction_true", "summarize", "aggregate_rows"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (``nan`` for an empty sequence)."""
+
+    return float(np.mean(values)) if len(values) else math.nan
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0 for fewer than two samples)."""
+
+    return float(np.std(values, ddof=1)) if len(values) > 1 else 0.0
+
+
+def fraction_true(flags: Iterable[bool]) -> float:
+    """The fraction of ``True`` values (``nan`` when empty)."""
+
+    flags = list(flags)
+    return sum(1 for f in flags if f) / len(flags) if flags else math.nan
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Mean / std / min / max summary of a numeric sample."""
+
+    if not len(values):
+        return {"mean": math.nan, "std": math.nan, "min": math.nan, "max": math.nan}
+    arr = np.asarray(values, dtype=float)
+    return {
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }
+
+
+def aggregate_rows(
+    rows: Sequence[Mapping[str, object]],
+    group_by: Sequence[str],
+    metrics: Sequence[str],
+) -> list[dict[str, object]]:
+    """Group ``rows`` by the ``group_by`` columns and average the ``metrics``.
+
+    Boolean metrics are averaged into rates; numeric metrics into means.
+    The result is sorted by the grouping key, suitable for table rendering.
+    """
+
+    grouped: dict[tuple, list[Mapping[str, object]]] = {}
+    for row in rows:
+        key = tuple(row[k] for k in group_by)
+        grouped.setdefault(key, []).append(row)
+
+    output: list[dict[str, object]] = []
+    for key in sorted(grouped, key=repr):
+        bucket = grouped[key]
+        record: dict[str, object] = {k: v for k, v in zip(group_by, key)}
+        record["samples"] = len(bucket)
+        for metric in metrics:
+            values = [row[metric] for row in bucket if metric in row]
+            if not values:
+                record[metric] = math.nan
+            elif all(isinstance(v, bool) for v in values):
+                record[metric] = fraction_true(values)
+            else:
+                record[metric] = mean([float(v) for v in values])
+        output.append(record)
+    return output

@@ -1,0 +1,69 @@
+"""Plain-text table rendering for experiment reports.
+
+The harness prints every experiment as a fixed-width table (and can emit
+Markdown for ``EXPERIMENTS.md``).  No third-party dependency is used so the
+harness stays runnable in the offline environment.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_cell", "render_table", "render_markdown_table"]
+
+
+def format_cell(value: object) -> str:
+    """Human-friendly formatting: floats get 4 significant digits."""
+
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == int(value) and abs(value) < 1e6:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _columns(rows: Sequence[Mapping[str, object]]) -> list[str]:
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def render_table(rows: Sequence[Mapping[str, object]], *, title: str | None = None) -> str:
+    """Render rows as an aligned fixed-width text table."""
+
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns = _columns(rows)
+    formatted = [[format_cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(columns[i]), *(len(line[i]) for line in formatted))
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in formatted:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+
+    if not rows:
+        return "_(no rows)_"
+    columns = _columns(rows)
+    lines = ["| " + " | ".join(columns) + " |", "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(format_cell(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Classic known-(n, f) baseline algorithms the paper generalises.
+
+These exist for comparison only: they require every node to be configured
+with the system size, the fault bound and (for the king rotation) the full
+membership list — exactly the knowledge the id-only algorithms avoid.
+"""
+
+from .dolev_approx import DolevApproxProcess, trim_f_and_midpoint
+from .known_f_consensus import KNOWN_PHASE_LENGTH, KnownFConsensusProcess
+from .srikanth_toueg import SrikanthTouegBroadcastProcess
+
+__all__ = [
+    "DolevApproxProcess",
+    "KNOWN_PHASE_LENGTH",
+    "KnownFConsensusProcess",
+    "SrikanthTouegBroadcastProcess",
+    "trim_f_and_midpoint",
+]

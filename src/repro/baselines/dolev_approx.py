@@ -1,0 +1,79 @@
+"""Classic approximate agreement with known ``f`` (Dolev et al. 1986).
+
+The known-parameters counterpart of the paper's Algorithm 4: every node
+broadcasts its value, discards the ``f`` smallest and ``f`` largest
+received values, and outputs the midpoint of the rest.  The only difference
+from the id-only algorithm is that the number of discarded values is the
+*configured* ``f`` rather than the observed ``⌊nv/3⌋`` — which is exactly
+what goes wrong when the configured ``f`` underestimates the real number of
+Byzantine nodes (experiment E5) and what is impossible to configure when
+the membership is unknown or changing (experiment E10).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.approximate_agreement import ValueMessage
+from ..sim.messages import Broadcast, NodeId, Outgoing
+from ..sim.node import Process, RoundView
+
+__all__ = ["DolevApproxProcess", "trim_f_and_midpoint"]
+
+
+def trim_f_and_midpoint(values: Sequence[float], assumed_f: int) -> float:
+    """Discard ``assumed_f`` values from both ends and take the midpoint."""
+
+    if not values:
+        raise ValueError("cannot aggregate an empty set of received values")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) > 2 * assumed_f:
+        trimmed = ordered[assumed_f : len(ordered) - assumed_f]
+    else:
+        trimmed = [ordered[len(ordered) // 2]]
+    return (trimmed[0] + trimmed[-1]) / 2.0
+
+
+class DolevApproxProcess(Process):
+    """Single-round classic approximate agreement with a configured ``f``."""
+
+    def __init__(
+        self, node_id: NodeId, *, input_value: float, assumed_f: int
+    ) -> None:
+        super().__init__(node_id)
+        self._input = float(input_value)
+        self._assumed_f = assumed_f
+        self._output: float | None = None
+        self._received: list[float] = []
+
+    @property
+    def input_value(self) -> float:
+        return self._input
+
+    @property
+    def assumed_f(self) -> int:
+        return self._assumed_f
+
+    @property
+    def received_values(self) -> tuple[float, ...]:
+        return tuple(self._received)
+
+    @property
+    def output(self) -> float | None:
+        return self._output
+
+    def step(self, view: RoundView) -> Sequence[Outgoing]:
+        if view.round_index == 1:
+            return [Broadcast(ValueMessage(self._input))]
+        if self._output is None:
+            values: list[float] = []
+            for sender in sorted(view.inbox.senders):
+                for payload in view.inbox.payloads_from(sender):
+                    if isinstance(payload, ValueMessage):
+                        values.append(float(payload.value))
+                        break
+            self._received = values
+            if values:
+                self._output = trim_f_and_midpoint(values, self._assumed_f)
+            self.halt()
+        return ()

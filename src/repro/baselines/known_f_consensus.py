@@ -1,0 +1,161 @@
+"""Classic king-style consensus with known ``n``, ``f`` and membership.
+
+This is the known-parameters counterpart of the paper's Algorithm 3 (which
+itself generalises Berman–Garay–Perry early-stopping consensus).  Because
+``n``, ``f`` and the full membership list are known and identifiers can be
+ranked, the rotor-coordinator degenerates to "rotate through the ``f + 1``
+smallest identifiers", and the relative ``nv/3`` / ``2·nv/3`` thresholds
+become the absolute ``f + 1`` / ``n − f``.
+
+The phase structure is kept identical to the id-only implementation (input,
+prefer, strongprefer, king, resolve) so that experiment E9's comparison of
+round and message complexity isolates exactly the thing the paper changes:
+how the thresholds and the coordinator rotation are computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..core.consensus import ConsensusInput, Prefer, StrongPrefer
+from ..core.rotor_coordinator import Opinion
+from ..sim.messages import Broadcast, Inbox, NodeId, Outgoing, Payload
+from ..sim.node import Process, RoundView
+
+__all__ = ["KnownFConsensusProcess", "KNOWN_PHASE_LENGTH"]
+
+#: Rounds per phase: input, prefer, strongprefer+king-announce, resolve.
+KNOWN_PHASE_LENGTH = 4
+
+
+class KnownFConsensusProcess(Process):
+    """A correct participant of the known-(n, f) king consensus.
+
+    Parameters
+    ----------
+    membership:
+        The full, globally known list of node identifiers.
+    assumed_f:
+        The fault bound used for the ``f + 1`` / ``n − f`` thresholds and
+        for the length of the king rotation.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        *,
+        input_value: Hashable,
+        membership: Sequence[NodeId],
+        assumed_f: int,
+    ) -> None:
+        super().__init__(node_id)
+        self._input = input_value
+        self._opinion: Hashable = input_value
+        self._membership = sorted(membership)
+        self._n = len(self._membership)
+        self._f = assumed_f
+        self._kings = self._membership[: assumed_f + 1] or self._membership[:1]
+        self._phase = 0
+        self._output: Hashable | None = None
+        self._pending_strong: dict[Hashable, int] = {}
+        self._linger = None
+
+    # -- results -----------------------------------------------------------------
+
+    @property
+    def input_value(self) -> Hashable:
+        return self._input
+
+    @property
+    def opinion(self) -> Hashable:
+        return self._opinion
+
+    @property
+    def output(self) -> Hashable | None:
+        return self._output
+
+    @property
+    def phase(self) -> int:
+        return self._phase
+
+    def king_of_phase(self, phase: int) -> NodeId:
+        """The coordinator of a phase: rotate through the f+1 smallest ids."""
+
+        return self._kings[(phase - 1) % len(self._kings)]
+
+    # -- helpers --------------------------------------------------------------------
+
+    @staticmethod
+    def _support(inbox: Inbox, message_type: type) -> dict[Hashable, int]:
+        supporters: dict[Hashable, set[NodeId]] = {}
+        for sender, payload in inbox.items():
+            if isinstance(payload, message_type):
+                supporters.setdefault(payload.value, set()).add(sender)
+        return {value: len(senders) for value, senders in supporters.items()}
+
+    def _best(self, support: dict[Hashable, int], threshold: int) -> Hashable | None:
+        candidates = [
+            (count, repr(value), value)
+            for value, count in support.items()
+            if count >= threshold
+        ]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda item: (-item[0], item[1]))
+        return candidates[0][2]
+
+    # -- the state machine --------------------------------------------------------------
+
+    def step(self, view: RoundView) -> Sequence[Outgoing]:
+        if self._output is not None:
+            self._linger -= 1
+            if self._linger < 0:
+                self.halt()
+                return ()
+
+        phase_round = (view.round_index - 1) % KNOWN_PHASE_LENGTH + 1
+        inbox = view.inbox
+        n_minus_f = self._n - self._f
+        f_plus_1 = self._f + 1
+
+        if phase_round == 1:
+            self._phase += 1
+            return [Broadcast(ConsensusInput(self._opinion))]
+
+        if phase_round == 2:
+            support = self._support(inbox, ConsensusInput)
+            winner = self._best(support, n_minus_f)
+            if winner is not None:
+                return [Broadcast(Prefer(winner))]
+            return ()
+
+        if phase_round == 3:
+            support = self._support(inbox, Prefer)
+            adopt = self._best(support, f_plus_1)
+            if adopt is not None:
+                self._opinion = adopt
+            payloads: list[Payload] = []
+            strong = self._best(support, n_minus_f)
+            if strong is not None:
+                payloads.append(StrongPrefer(strong))
+            if self.king_of_phase(self._phase) == self.node_id:
+                payloads.append(Opinion(self._opinion))
+            return [Broadcast(p) for p in payloads]
+
+        # phase_round == 4: resolve using the strongprefer counts received
+        # this round and the king's opinion broadcast in the previous round.
+        support = self._support(inbox, StrongPrefer)
+        decide = self._best(support, n_minus_f)
+        weak = self._best(support, f_plus_1)
+        king = self.king_of_phase(self._phase)
+        if weak is None:
+            for payload in inbox.payloads_from(king):
+                if isinstance(payload, Opinion):
+                    self._opinion = payload.value
+                    break
+        if decide is not None and self._output is None:
+            self._output = decide
+            self._opinion = decide
+            self._linger = KNOWN_PHASE_LENGTH
+        return ()

@@ -1,0 +1,111 @@
+"""Classic reliable broadcast with known ``n`` and ``f`` (Srikanth & Toueg).
+
+This is the algorithm the paper's Algorithm 1 generalises: the absolute
+thresholds ``f + 1`` (echo relay) and ``2f + 1`` (acceptance) require every
+node to know the fault bound ``f`` in advance.  The baseline exists for two
+reasons:
+
+* experiment E9 compares the message and round complexity of the id-only
+  algorithm against it on identical workloads (the paper argues they are
+  essentially unchanged);
+* experiment E5 shows what happens when the *assumed* ``f`` is wrong —
+  the classic algorithm silently loses its guarantees, whereas the id-only
+  algorithm has no such parameter to misconfigure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..sim.messages import Broadcast, NodeId, Outgoing
+from ..sim.node import Process, RoundView
+from ..core.reliable_broadcast import AcceptanceRecord, Echo, Initial, Present
+
+__all__ = ["SrikanthTouegBroadcastProcess"]
+
+
+class SrikanthTouegBroadcastProcess(Process):
+    """A correct participant of the classic (known-``f``) reliable broadcast.
+
+    The message format is shared with the id-only implementation so the two
+    are directly comparable; only the quorum rules differ.
+
+    Parameters
+    ----------
+    assumed_f:
+        The fault bound the node was configured with.  The guarantees hold
+        when ``assumed_f`` is a true upper bound and ``n > 3·assumed_f``;
+        the resiliency-boundary experiment deliberately misconfigures it.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        *,
+        source: NodeId,
+        assumed_f: int,
+        message: Hashable | None = None,
+    ) -> None:
+        super().__init__(node_id)
+        self._source = source
+        self._message = message
+        self._assumed_f = assumed_f
+        self._accepted: dict[tuple[Hashable, NodeId], AcceptanceRecord] = {}
+        self._echo_senders: dict[tuple[Hashable, NodeId], set[NodeId]] = {}
+        self._echoed: set[tuple[Hashable, NodeId]] = set()
+
+    @property
+    def source(self) -> NodeId:
+        return self._source
+
+    @property
+    def assumed_f(self) -> int:
+        return self._assumed_f
+
+    @property
+    def accepted(self) -> tuple[AcceptanceRecord, ...]:
+        return tuple(sorted(self._accepted.values(), key=lambda rec: rec.round_index))
+
+    def has_accepted(self, message: Hashable, source: NodeId | None = None) -> bool:
+        source = self._source if source is None else source
+        return (message, source) in self._accepted
+
+    @property
+    def output(self):
+        for (message, source) in self._accepted:
+            if source == self._source:
+                return message
+        return None
+
+    def step(self, view: RoundView) -> Sequence[Outgoing]:
+        if view.round_index == 1:
+            if self.node_id == self._source:
+                return [Broadcast(Initial(self._message, self._source))]
+            return [Broadcast(Present())]
+
+        outgoing: list[Outgoing] = []
+        if view.round_index == 2:
+            for payload in view.inbox.payloads_from(self._source):
+                if isinstance(payload, Initial) and payload.source == self._source:
+                    key = (payload.message, payload.source)
+                    if key not in self._echoed:
+                        self._echoed.add(key)
+                        outgoing.append(Broadcast(Echo(*key)))
+
+        # Cumulative distinct-echoer bookkeeping with the classic absolute
+        # thresholds: relay at f+1 echoes, accept at 2f+1.
+        for sender, payload in view.inbox.items():
+            if isinstance(payload, Echo):
+                key = (payload.message, payload.source)
+                self._echo_senders.setdefault(key, set()).add(sender)
+
+        for key, senders in sorted(self._echo_senders.items(), key=lambda kv: repr(kv[0])):
+            if len(senders) >= self._assumed_f + 1 and key not in self._echoed:
+                self._echoed.add(key)
+                outgoing.append(Broadcast(Echo(*key)))
+            if len(senders) >= 2 * self._assumed_f + 1 and key not in self._accepted:
+                self._accepted[key] = AcceptanceRecord(
+                    message=key[0], source=key[1], round_index=view.round_index
+                )
+        return outgoing

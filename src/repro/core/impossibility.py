@@ -1,0 +1,155 @@
+"""Section IX — synchrony is necessary (Lemmas 14 and 15).
+
+The paper proves that when ``n`` and ``f`` are unknown, consensus is
+impossible — even with probabilistic termination — in asynchronous systems
+(Lemma 14) and in semi-synchronous systems whose delay bound Δ exists but
+is unknown to the nodes (Lemma 15).  Both proofs are *constructive*: they
+describe an execution in which two groups of correct nodes decide
+differently because each group's view is indistinguishable from a system
+in which the other group does not exist.
+
+This module builds exactly those executions against the real Algorithm 3
+implementation and reports whether the predicted disagreement materialises.
+Experiment E6 runs them over many seeds; the measured disagreement
+frequency being (essentially) one is the empirical counterpart of the
+impossibility result, and the same scenario run under the synchronous
+delay model shows agreement is restored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..sim.delays import BoundedUnknownDelay, DelayModel, PartitionDelay, SynchronousDelay
+from ..sim.messages import NodeId
+from ..sim.network import SynchronousNetwork
+from ..sim.rng import derive
+from .consensus import ConsensusProcess
+
+__all__ = [
+    "PartitionOutcome",
+    "run_partitioned_consensus",
+    "asynchronous_partition_execution",
+    "semi_synchronous_partition_execution",
+    "synchronous_control_execution",
+]
+
+
+@dataclass(frozen=True)
+class PartitionOutcome:
+    """What happened in one partition execution."""
+
+    group_a: tuple[NodeId, ...]
+    group_b: tuple[NodeId, ...]
+    decisions_a: tuple[object, ...]
+    decisions_b: tuple[object, ...]
+    rounds: int
+    delay_model: str
+
+    @property
+    def all_decided(self) -> bool:
+        decisions = self.decisions_a + self.decisions_b
+        return bool(decisions) and all(d is not None for d in decisions)
+
+    @property
+    def disagreement(self) -> bool:
+        """True when two correct nodes decided different values."""
+
+        decided = [d for d in self.decisions_a + self.decisions_b if d is not None]
+        return len(set(decided)) > 1
+
+    @property
+    def agreement(self) -> bool:
+        return self.all_decided and not self.disagreement
+
+
+def _partition_ids(n_a: int, n_b: int, seed: int) -> tuple[list[NodeId], list[NodeId]]:
+    from ..workloads.generators import sparse_ids
+
+    ids = sparse_ids(n_a + n_b, seed=derive(seed, "impossibility-ids"))
+    return ids[:n_a], ids[n_a:]
+
+
+def run_partitioned_consensus(
+    *,
+    group_a: Sequence[NodeId],
+    group_b: Sequence[NodeId],
+    delay_model: DelayModel,
+    max_rounds: int = 60,
+    seed: int = 0,
+) -> PartitionOutcome:
+    """Run Algorithm 3 with group A holding input 1 and group B input 0.
+
+    All nodes are *correct*; only the message delays differ from the
+    synchronous model.  This is the system ``S`` of Lemma 14 / 15.
+    """
+
+    processes = [ConsensusProcess(node, input_value=1) for node in group_a]
+    processes += [ConsensusProcess(node, input_value=0) for node in group_b]
+    network = SynchronousNetwork(processes, delay_model=delay_model, seed=seed)
+    result = network.run(max_rounds=max_rounds)
+    return PartitionOutcome(
+        group_a=tuple(group_a),
+        group_b=tuple(group_b),
+        decisions_a=tuple(network.process(i).output for i in group_a),
+        decisions_b=tuple(network.process(i).output for i in group_b),
+        rounds=result.rounds_executed,
+        delay_model=type(delay_model).__name__,
+    )
+
+
+def asynchronous_partition_execution(
+    n_a: int = 4, n_b: int = 4, *, seed: int = 0, max_rounds: int = 60
+) -> PartitionOutcome:
+    """Lemma 14's construction: cross-partition messages delayed forever.
+
+    To each node, the system is indistinguishable from one in which the
+    other partition does not exist, so group A decides 1 and group B decides
+    0 — a disagreement.
+    """
+
+    ids_a, ids_b = _partition_ids(n_a, n_b, seed)
+    delay = PartitionDelay(groups=(frozenset(ids_a), frozenset(ids_b)), heal_round=None)
+    return run_partitioned_consensus(
+        group_a=ids_a, group_b=ids_b, delay_model=delay, max_rounds=max_rounds, seed=seed
+    )
+
+
+def semi_synchronous_partition_execution(
+    n_a: int = 4,
+    n_b: int = 4,
+    *,
+    delta: int = 40,
+    seed: int = 0,
+    max_rounds: int = 60,
+) -> PartitionOutcome:
+    """Lemma 15's construction: a finite delay bound Δ exists but is larger
+    than the time each group needs to decide, so both groups decide before
+    ever hearing from each other."""
+
+    ids_a, ids_b = _partition_ids(n_a, n_b, seed)
+    delay = BoundedUnknownDelay(groups=(frozenset(ids_a), frozenset(ids_b)), delta=delta)
+    return run_partitioned_consensus(
+        group_a=ids_a, group_b=ids_b, delay_model=delay, max_rounds=max_rounds, seed=seed
+    )
+
+
+def synchronous_control_execution(
+    n_a: int = 4, n_b: int = 4, *, seed: int = 0, max_rounds: int = 80
+) -> PartitionOutcome:
+    """The control: the same split inputs under the synchronous model.
+
+    With synchronous delivery the nodes hear each other, so Algorithm 3
+    reaches agreement — demonstrating that it is the loss of synchrony, not
+    the split inputs, that causes the disagreement above.
+    """
+
+    ids_a, ids_b = _partition_ids(n_a, n_b, seed)
+    return run_partitioned_consensus(
+        group_a=ids_a,
+        group_b=ids_b,
+        delay_model=SynchronousDelay(),
+        max_rounds=max_rounds,
+        seed=seed,
+    )

@@ -1,0 +1,501 @@
+"""Algorithm 5 — EarlyConsensus(id) and ParallelConsensus (Section X).
+
+Parallel consensus generalises consensus to a *set* of named decisions:
+every correct node ``v`` holds input pairs ``(id, x)`` and the correct
+nodes must output a common set of pairs such that
+
+* **Validity** — a pair ``(id, x)`` with ``x ≠ ⊥`` that is an input of
+  every correct node is output by every correct node;
+* **Agreement** — if one correct node outputs ``(id, x)``, all do;
+* **Termination** — every correct node outputs its set after finitely many
+  rounds.
+
+The subtlety is that the correct nodes do not initially agree on *which*
+instances exist: an identifier may be input at only some correct nodes, or
+at none (injected by Byzantine nodes).  EarlyConsensus(id) handles this by
+running the consensus phase structure per identifier with explicit
+``nopreference``/``nostrongpreference`` messages and default ``⊥``
+substitution for nodes that have not spoken for that identifier:
+
+* a message type first heard in the **second or later phase** is discarded
+  (no new instance is started);
+* during the **first phase**, nodes that counted towards ``nv`` but did not
+  send a message of the counted type (nor the corresponding explicit
+  ``no…preference`` statement) are counted as having sent that type with
+  value ``⊥``;
+* in later phases, only nodes that have stayed silent for the entire loop
+  are substituted for, with the local node's own most recent message of
+  that type (the same — provably safe — narrowing used in Algorithm 3;
+  a blanket per-round substitution would let a split-vote adversary create
+  conflicting quorums).
+
+All instances share one rotor-coordinator (initialised in the two setup
+rounds, one selection per phase); the phase coordinator broadcasts one
+per-identifier opinion for every instance it tracks.
+
+The module exposes:
+
+* :class:`ParallelConsensusEngine` — the embeddable state machine (also
+  used per-round by the dynamic total-ordering protocol of Section XI);
+* :class:`ParallelConsensusProcess` — a standalone process for experiment
+  E7 and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+from ..sim.messages import Broadcast, Inbox, NodeId, Outgoing, Payload
+from ..sim.node import KnownSenders, Process, RoundView
+from .consensus import INIT_ROUNDS, LINGER_PHASES, PHASE_LENGTH
+from .quorums import best_supported_value, meets_one_third, meets_two_thirds
+from .rotor_coordinator import RotorCoordinatorCore
+
+__all__ = [
+    "BOTTOM",
+    "PCInput",
+    "PCPrefer",
+    "PCStrongPrefer",
+    "PCNoPreference",
+    "PCNoStrongPreference",
+    "PCOpinion",
+    "ParallelConsensusEngine",
+    "ParallelConsensusProcess",
+]
+
+
+class _Bottom:
+    """The ``⊥`` placeholder (a dedicated singleton, distinct from ``None``)."""
+
+    _instance: "_Bottom | None" = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __hash__(self) -> int:
+        return hash("__bottom__")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Bottom)
+
+
+#: The distinguished "no opinion" value of Section X.
+BOTTOM = _Bottom()
+
+
+@dataclass(frozen=True)
+class PCInput:
+    """``id:input(x)``."""
+
+    instance: Hashable
+    value: Hashable
+
+
+@dataclass(frozen=True)
+class PCPrefer:
+    """``id:prefer(x)``."""
+
+    instance: Hashable
+    value: Hashable
+
+
+@dataclass(frozen=True)
+class PCStrongPrefer:
+    """``id:strongprefer(x)``."""
+
+    instance: Hashable
+    value: Hashable
+
+
+@dataclass(frozen=True)
+class PCNoPreference:
+    """``id:nopreference`` — "I saw no two-thirds input quorum for this id"."""
+
+    instance: Hashable
+
+
+@dataclass(frozen=True)
+class PCNoStrongPreference:
+    """``id:nostrongpreference`` — "I saw no two-thirds prefer quorum"."""
+
+    instance: Hashable
+
+
+@dataclass(frozen=True)
+class PCOpinion:
+    """The phase coordinator's per-identifier opinion."""
+
+    instance: Hashable
+    value: Hashable
+
+
+_TYPE_INPUT = "input"
+_TYPE_PREFER = "prefer"
+_TYPE_STRONG = "strongprefer"
+
+
+@dataclass
+class _InstanceState:
+    """Per-identifier EarlyConsensus state."""
+
+    instance: Hashable
+    opinion: Hashable
+    started_phase: int
+    decided: bool = False
+    output: Hashable | None = None
+    # Most recent message of each type sent by this node for the instance,
+    # used by the substitution rule.
+    sent: dict[str, Hashable] = field(default_factory=dict)
+    # strongprefer support remembered between phase rounds 4 and 5.
+    pending_strong: dict[Hashable, int] = field(default_factory=dict)
+    # Rounds left to keep speaking after deciding (termination detection).
+    linger_rounds: int | None = None
+
+    @property
+    def active(self) -> bool:
+        """An instance stops speaking once its linger budget is exhausted."""
+
+        if not self.decided:
+            return True
+        return self.linger_rounds is not None and self.linger_rounds >= 0
+
+
+class ParallelConsensusEngine:
+    """The EarlyConsensus/ParallelConsensus state machine.
+
+    The engine is deliberately *not* a :class:`~repro.sim.node.Process`: the
+    dynamic total-ordering protocol embeds one engine per round-instance and
+    multiplexes them over the same network rounds.  ``step`` takes the
+    engine-local round number (1-based) and the inbox restricted to this
+    engine's messages, and returns the payloads to broadcast.
+
+    Parameters
+    ----------
+    node_id:
+        The local node's identifier.
+    input_pairs:
+        The ``(id, x)`` pairs input at this node.
+    allowed_senders:
+        When given (the dynamic-network case), only messages from these
+        identifiers are considered and ``nv`` is bounded by this set.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        input_pairs: Mapping[Hashable, Hashable] | None = None,
+        *,
+        allowed_senders: frozenset[NodeId] | None = None,
+    ) -> None:
+        self._node_id = node_id
+        self._allowed = allowed_senders
+        self._known = KnownSenders()
+        self._rotor = RotorCoordinatorCore(node_id)
+        self._instances: dict[Hashable, _InstanceState] = {}
+        self._loop_senders: set[NodeId] = set()
+        self._phase = 0
+        for instance, value in (input_pairs or {}).items():
+            self._instances[instance] = _InstanceState(
+                instance=instance,
+                opinion=value if value is not None else BOTTOM,
+                started_phase=1,
+            )
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    @property
+    def nv(self) -> int:
+        return self._known.count
+
+    @property
+    def phase(self) -> int:
+        return self._phase
+
+    @property
+    def instances(self) -> tuple[Hashable, ...]:
+        return tuple(sorted(self._instances, key=repr))
+
+    @property
+    def rotor(self) -> RotorCoordinatorCore:
+        return self._rotor
+
+    def opinion(self, instance: Hashable) -> Hashable | None:
+        state = self._instances.get(instance)
+        return None if state is None else state.opinion
+
+    @property
+    def all_decided(self) -> bool:
+        """True when every tracked instance has decided (vacuously true for
+        a node tracking no instances once the first phase has passed)."""
+
+        if not self._instances:
+            return self._phase >= 2
+        return all(state.decided for state in self._instances.values())
+
+    @property
+    def outputs(self) -> dict[Hashable, Hashable]:
+        """The decided non-``⊥`` pairs (the parallel-consensus output set)."""
+
+        return {
+            state.instance: state.output
+            for state in self._instances.values()
+            if state.decided and state.output is not None
+        }
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _filter(self, inbox: Inbox) -> Inbox:
+        allowed = self._known.ids if self._known.frozen else None
+        if self._allowed is not None:
+            allowed = self._allowed if allowed is None else (allowed & self._allowed)
+        if allowed is None:
+            return inbox
+        return Inbox.from_pairs(
+            (sender, payload)
+            for sender, payload in inbox.items()
+            if sender in allowed
+        )
+
+    def _ensure_instance(self, instance: Hashable, phase: int) -> _InstanceState | None:
+        """Create the instance state when a message for a new identifier is
+        first heard — only allowed during the first phase (rule 1)."""
+
+        state = self._instances.get(instance)
+        if state is not None:
+            return state
+        if phase > 1:
+            return None
+        state = _InstanceState(instance=instance, opinion=BOTTOM, started_phase=phase)
+        self._instances[instance] = state
+        return state
+
+    def _support(
+        self,
+        inbox: Inbox,
+        instance: Hashable,
+        message_cls: type,
+        type_key: str,
+        state: _InstanceState,
+    ) -> dict[Hashable, int]:
+        """Count per-value support for one message type of one instance,
+        applying the ⊥/own-message substitution rules."""
+
+        supporters: dict[Hashable, set[NodeId]] = {}
+        senders_of_type: set[NodeId] = set()
+        for sender, payload in inbox.items():
+            if isinstance(payload, message_cls) and payload.instance == instance:
+                supporters.setdefault(payload.value, set()).add(sender)
+                senders_of_type.add(sender)
+            elif isinstance(payload, (PCNoPreference, PCNoStrongPreference)):
+                # Explicit "no quorum" statements make the sender non-missing
+                # for the corresponding type, so no value is substituted.
+                if payload.instance == instance and (
+                    (type_key == _TYPE_PREFER and isinstance(payload, PCNoPreference))
+                    or (
+                        type_key == _TYPE_STRONG
+                        and isinstance(payload, PCNoStrongPreference)
+                    )
+                ):
+                    senders_of_type.add(sender)
+        counts = {value: len(senders) for value, senders in supporters.items()}
+
+        missing = self._known.ids - senders_of_type - {self._node_id}
+        if missing:
+            if self._phase == 1:
+                # First phase: missing senders default to ⊥ (rule 2).
+                counts[BOTTOM] = counts.get(BOTTOM, 0) + len(missing)
+            else:
+                # Later phases: substitute the node's own most recent message
+                # of this type, but only for nodes that have never spoken
+                # inside the loop (rule 3, narrowed as in Algorithm 3).
+                silent = missing - self._loop_senders
+                own = state.sent.get(type_key)
+                if silent and own is not None:
+                    counts[own] = counts.get(own, 0) + len(silent)
+        return counts
+
+    # -- the round state machine ------------------------------------------------------
+
+    def step(self, local_round: int, inbox: Inbox) -> list[Payload]:
+        """Advance one round; return the payloads to broadcast."""
+
+        if local_round == 1:
+            self._known.observe(inbox)
+            return list(self._rotor.init_round_one())
+        if local_round == 2:
+            self._known.observe(inbox)
+            return list(self._rotor.init_round_two(inbox))
+        if local_round == 3:
+            self._known.observe(inbox)
+            self._known.freeze()
+
+        inbox = self._filter(inbox)
+        if local_round > 3:
+            self._loop_senders.update(inbox.senders)
+        relays = self._rotor.observe(inbox)
+        phase_round = (local_round - INIT_ROUNDS - 1) % PHASE_LENGTH + 1
+        if phase_round == 1:
+            self._phase += 1
+
+        payloads: list[Payload] = list(relays)
+        handler = {
+            1: self._phase_round_one,
+            2: self._phase_round_two,
+            3: self._phase_round_three,
+            4: self._phase_round_four,
+            5: self._phase_round_five,
+        }[phase_round]
+        payloads.extend(handler(inbox, local_round))
+
+        # Linger bookkeeping for decided instances.
+        for state in self._instances.values():
+            if state.decided and state.linger_rounds is not None:
+                state.linger_rounds -= 1
+        return payloads
+
+    # -- phase rounds -------------------------------------------------------------------
+
+    def _phase_round_one(self, inbox: Inbox, local_round: int) -> list[Payload]:
+        payloads: list[Payload] = []
+        for state in self._sorted_states():
+            if not state.active:
+                continue
+            if state.opinion != BOTTOM and state.opinion is not None:
+                payloads.append(PCInput(state.instance, state.opinion))
+                state.sent[_TYPE_INPUT] = state.opinion
+        return payloads
+
+    def _phase_round_two(self, inbox: Inbox, local_round: int) -> list[Payload]:
+        payloads: list[Payload] = []
+        # New identifiers first heard via id:input start an instance now.
+        for _, payload in inbox.items():
+            if isinstance(payload, PCInput):
+                self._ensure_instance(payload.instance, self._phase)
+        for state in self._sorted_states():
+            if not state.active:
+                continue
+            support = self._support(inbox, state.instance, PCInput, _TYPE_INPUT, state)
+            winner = best_supported_value(support, self.nv, fraction="two_thirds")
+            if winner is not None:
+                payloads.append(PCPrefer(state.instance, winner))
+                state.sent[_TYPE_PREFER] = winner
+            else:
+                payloads.append(PCNoPreference(state.instance))
+        return payloads
+
+    def _phase_round_three(self, inbox: Inbox, local_round: int) -> list[Payload]:
+        payloads: list[Payload] = []
+        for _, payload in inbox.items():
+            if isinstance(payload, PCPrefer):
+                self._ensure_instance(payload.instance, self._phase)
+        for state in self._sorted_states():
+            if not state.active:
+                continue
+            support = self._support(inbox, state.instance, PCPrefer, _TYPE_PREFER, state)
+            adopt = best_supported_value(support, self.nv, fraction="one_third")
+            if adopt is not None:
+                state.opinion = adopt
+            strong = best_supported_value(support, self.nv, fraction="two_thirds")
+            if strong is not None:
+                payloads.append(PCStrongPrefer(state.instance, strong))
+                state.sent[_TYPE_STRONG] = strong
+            else:
+                payloads.append(PCNoStrongPreference(state.instance))
+        return payloads
+
+    def _phase_round_four(self, inbox: Inbox, local_round: int) -> list[Payload]:
+        payloads: list[Payload] = []
+        for state in self._sorted_states():
+            if not state.active:
+                continue
+            state.pending_strong = self._support(
+                inbox, state.instance, PCStrongPrefer, _TYPE_STRONG, state
+            )
+        # One shared rotor-coordinator selection per phase; the selected
+        # coordinator publishes a per-instance opinion.
+        outcome = self._rotor.execute_selection(
+            inbox, None, round_index=local_round
+        )
+        if outcome.selected == self._node_id:
+            for state in self._sorted_states():
+                if state.active:
+                    payloads.append(PCOpinion(state.instance, state.opinion))
+        return payloads
+
+    def _phase_round_five(self, inbox: Inbox, local_round: int) -> list[Payload]:
+        payloads: list[Payload] = []
+        for _, payload in inbox.items():
+            if isinstance(payload, PCStrongPrefer):
+                self._ensure_instance(payload.instance, self._phase)
+        coordinator = self._rotor.last_selected
+        for state in self._sorted_states():
+            if not state.active:
+                continue
+            support = state.pending_strong
+            state.pending_strong = {}
+            decide = best_supported_value(support, self.nv, fraction="two_thirds")
+            weak = best_supported_value(support, self.nv, fraction="one_third")
+            if weak is None and coordinator is not None:
+                for payload in inbox.payloads_from(coordinator):
+                    if (
+                        isinstance(payload, PCOpinion)
+                        and payload.instance == state.instance
+                    ):
+                        state.opinion = payload.value
+                        break
+            if decide is not None and not state.decided:
+                state.decided = True
+                state.opinion = decide
+                state.output = None if decide == BOTTOM else decide
+                state.linger_rounds = LINGER_PHASES * PHASE_LENGTH
+        return payloads
+
+    def _sorted_states(self) -> list[_InstanceState]:
+        return [self._instances[k] for k in sorted(self._instances, key=repr)]
+
+
+class ParallelConsensusProcess(Process):
+    """Standalone parallel consensus (experiment E7, examples)."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        *,
+        input_pairs: Mapping[Hashable, Hashable],
+        max_phases: int = 12,
+    ) -> None:
+        super().__init__(node_id)
+        self._engine = ParallelConsensusEngine(node_id, dict(input_pairs))
+        self._max_phases = max_phases
+        self._output: dict[Hashable, Hashable] | None = None
+
+    @property
+    def engine(self) -> ParallelConsensusEngine:
+        return self._engine
+
+    @property
+    def output(self) -> dict[Hashable, Hashable] | None:
+        return self._output
+
+    @property
+    def decided(self) -> bool:
+        return self._output is not None
+
+    def step(self, view: RoundView) -> Sequence[Outgoing]:
+        payloads = self._engine.step(view.round_index, view.inbox)
+        if self._output is None and self._engine.all_decided and self._engine.phase >= 1:
+            self._output = dict(self._engine.outputs)
+        if self._engine.phase > self._max_phases:
+            self.halt()
+            return ()
+        return [Broadcast(p) for p in payloads]

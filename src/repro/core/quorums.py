@@ -1,0 +1,134 @@
+"""Relative-quorum arithmetic used by every id-only algorithm.
+
+The paper's central trick is to replace the unknown system size ``n`` and
+fault bound ``f`` with ``nv`` — the number of distinct nodes the local node
+has heard from so far — and to use the *relative* thresholds ``nv/3`` and
+``2·nv/3`` where classic algorithms use ``f + 1`` and ``n − f``.  Section
+III calls out the key observation: if every correct node broadcasts in a
+round, then fewer than ``nv/3`` of the messages a correct node receives can
+come from Byzantine nodes, irrespective of what the Byzantine nodes do.
+
+This module centralises the threshold checks so every protocol spells the
+comparison the same way the pseudocode does ("at least nv/3", "at least
+2nv/3") and so the tests can probe the edge cases (non-divisible ``nv``,
+empty views) in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, TypeVar
+
+__all__ = [
+    "one_third",
+    "two_thirds",
+    "meets_one_third",
+    "meets_two_thirds",
+    "below_one_third",
+    "values_meeting",
+    "best_supported_value",
+    "max_faults_tolerated",
+    "is_resilient",
+]
+
+V = TypeVar("V", bound=Hashable)
+
+
+def one_third(nv: int) -> float:
+    """The ``nv/3`` threshold (kept as an exact fraction, not floored)."""
+
+    if nv < 0:
+        raise ValueError("nv must be non-negative")
+    return nv / 3.0
+
+
+def two_thirds(nv: int) -> float:
+    """The ``2·nv/3`` threshold (kept as an exact fraction, not floored)."""
+
+    if nv < 0:
+        raise ValueError("nv must be non-negative")
+    return 2.0 * nv / 3.0
+
+
+def meets_one_third(count: int, nv: int) -> bool:
+    """True when ``count`` distinct senders satisfy "at least nv/3".
+
+    A count of zero never meets the threshold, even when ``nv`` is zero:
+    the algorithms only act on evidence actually received.
+    """
+
+    return count > 0 and count >= one_third(nv)
+
+
+def meets_two_thirds(count: int, nv: int) -> bool:
+    """True when ``count`` distinct senders satisfy "at least 2·nv/3"."""
+
+    return count > 0 and count >= two_thirds(nv)
+
+
+def below_one_third(count: int, nv: int) -> bool:
+    """True when ``count`` is strictly below ``nv/3`` (Algorithm 3, line 15)."""
+
+    return not meets_one_third(count, nv)
+
+
+def values_meeting(
+    support: Mapping[V, int] | Mapping[V, Iterable[object]],
+    nv: int,
+    *,
+    fraction: str = "two_thirds",
+) -> list[V]:
+    """Values whose support count meets the requested relative threshold.
+
+    ``support`` maps each value to either an integer count or a collection
+    of distinct supporters.  The result is sorted (by ``repr`` for mixed
+    types) so callers that need a deterministic pick can take the first
+    element.
+    """
+
+    check = meets_two_thirds if fraction == "two_thirds" else meets_one_third
+    winners: list[V] = []
+    for value, raw in support.items():
+        count = raw if isinstance(raw, int) else len(tuple(raw))
+        if check(count, nv):
+            winners.append(value)
+    return sorted(winners, key=repr)
+
+
+def best_supported_value(
+    support: Mapping[V, int] | Mapping[V, Iterable[object]],
+    nv: int,
+    *,
+    fraction: str = "two_thirds",
+) -> V | None:
+    """The single best-supported value meeting the threshold, or ``None``.
+
+    Lemmas 9 and 10 guarantee that at most one value can meet ``2nv/3`` (and
+    at most one *correct-origin* value can meet ``nv/3``), but a defensive
+    deterministic tie-break — highest count, then smallest ``repr`` — keeps
+    the implementation total even under model violations (which the
+    resiliency-boundary experiment E5 deliberately provokes).
+    """
+
+    counted: dict[V, int] = {}
+    for value, raw in support.items():
+        counted[value] = raw if isinstance(raw, int) else len(tuple(raw))
+    check = meets_two_thirds if fraction == "two_thirds" else meets_one_third
+    candidates = [(count, value) for value, count in counted.items() if check(count, nv)]
+    if not candidates:
+        return None
+    candidates.sort(key=lambda item: (-item[0], repr(item[1])))
+    return candidates[0][1]
+
+
+def max_faults_tolerated(n: int) -> int:
+    """The largest ``f`` with ``n > 3f`` — the optimal resiliency bound."""
+
+    if n <= 0:
+        return 0
+    return (n - 1) // 3
+
+
+def is_resilient(n: int, f: int) -> bool:
+    """True when the configuration satisfies the paper's ``n > 3f``."""
+
+    return n > 3 * f

@@ -1,0 +1,191 @@
+"""Algorithm 1 — Reliable broadcast in the id-only model (Section V).
+
+Reliable broadcast lets a designated sender ``s`` disseminate a message
+``(m, s)`` such that (for ``n > 3f``):
+
+* **Correctness** — if ``s`` is correct, every correct node accepts
+  ``(m, s)``;
+* **Unforgeability** — if a correct node accepts ``(m, s)`` and ``s`` is
+  correct, then ``s`` really broadcast ``m``;
+* **Relay** — if a correct node accepts ``(m, s)`` in round ``r``, every
+  correct node accepts it by round ``r + 1``.
+
+The id-only twist is that the echo thresholds are *relative*: instead of
+the classic ``f + 1`` / ``2f + 1`` counts, a node compares the number of
+distinct ``echo(m, s)`` senders seen this round against ``nv/3`` and
+``2·nv/3`` where ``nv`` is the number of distinct nodes it has heard from
+so far (Algorithm 1, line 10).  Correct nodes announce themselves with a
+``present`` message in the first round precisely so that ``nv ≥ g`` at
+every correct node.
+
+The process intentionally never halts by itself — the paper uses the
+mechanism as a subroutine and notes that termination is the caller's
+responsibility.  The experiment harness stops runs with an explicit stop
+condition instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..sim.messages import Broadcast, NodeId, Outgoing, Payload
+from ..sim.node import KnownSenders, Process, RoundView
+from .quorums import meets_one_third, meets_two_thirds
+
+__all__ = [
+    "Present",
+    "Initial",
+    "Echo",
+    "ReliableBroadcastProcess",
+    "AcceptanceRecord",
+]
+
+
+@dataclass(frozen=True)
+class Present:
+    """Round-1 announcement broadcast by every non-sender correct node.
+
+    Its only purpose is to make every correct node known to every other
+    correct node, so that the relative thresholds are anchored at
+    ``nv ≥ g``.
+    """
+
+
+@dataclass(frozen=True)
+class Initial:
+    """The designated sender's round-1 broadcast of ``(m, s)``."""
+
+    message: Hashable
+    source: NodeId
+
+
+@dataclass(frozen=True)
+class Echo:
+    """``echo(m, s)`` — a vote that ``(m, s)`` was seen."""
+
+    message: Hashable
+    source: NodeId
+
+
+@dataclass(frozen=True)
+class AcceptanceRecord:
+    """What a node accepted and when (used by tests and the harness)."""
+
+    message: Hashable
+    source: NodeId
+    round_index: int
+
+
+class ReliableBroadcastProcess(Process):
+    """A correct participant in one reliable-broadcast instance.
+
+    Parameters
+    ----------
+    node_id:
+        This node's identifier.
+    source:
+        The identifier of the designated sender ``s``.
+    message:
+        The message to broadcast; only consulted when ``node_id == source``.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        *,
+        source: NodeId,
+        message: Hashable | None = None,
+    ) -> None:
+        super().__init__(node_id)
+        self._source = source
+        self._message = message
+        self._known = KnownSenders()
+        self._accepted: dict[tuple[Hashable, NodeId], AcceptanceRecord] = {}
+        self._echoed_in_round2 = False
+
+    # -- public results ------------------------------------------------------
+
+    @property
+    def source(self) -> NodeId:
+        return self._source
+
+    @property
+    def accepted(self) -> tuple[AcceptanceRecord, ...]:
+        """Every ``(m, s)`` pair accepted so far, in acceptance order."""
+
+        return tuple(
+            sorted(self._accepted.values(), key=lambda rec: rec.round_index)
+        )
+
+    def has_accepted(self, message: Hashable, source: NodeId | None = None) -> bool:
+        source = self._source if source is None else source
+        return (message, source) in self._accepted
+
+    @property
+    def output(self):
+        """The first accepted message from the designated source, if any."""
+
+        for (message, source), record in self._accepted.items():
+            if source == self._source:
+                return message
+        return None
+
+    @property
+    def nv(self) -> int:
+        """The node's current estimate ``nv`` (distinct senders seen)."""
+
+        return self._known.count
+
+    # -- the round state machine -----------------------------------------------
+
+    def step(self, view: RoundView) -> Sequence[Outgoing]:
+        self._known.observe(view.inbox)
+        if view.round_index == 1:
+            return self._round_one()
+        if view.round_index == 2:
+            return self._round_two(view)
+        return self._echo_rounds(view)
+
+    def _round_one(self) -> Sequence[Outgoing]:
+        # Algorithm 1, lines 1–5.
+        if self.node_id == self._source:
+            return [Broadcast(Initial(self._message, self._source))]
+        return [Broadcast(Present())]
+
+    def _round_two(self, view: RoundView) -> Sequence[Outgoing]:
+        # Algorithm 1, lines 6–8: echo only what the designated sender
+        # itself delivered (the sender id on the envelope is truthful).
+        outgoing: list[Outgoing] = []
+        for payload in view.inbox.payloads_from(self._source):
+            if isinstance(payload, Initial) and payload.source == self._source:
+                outgoing.append(Broadcast(Echo(payload.message, payload.source)))
+                self._echoed_in_round2 = True
+        return outgoing
+
+    def _echo_rounds(self, view: RoundView) -> Sequence[Outgoing]:
+        # Algorithm 1, lines 9–19.  Echo support is counted per round over
+        # distinct senders; nv is cumulative over all rounds so far.
+        nv = self._known.count
+        support: dict[tuple[Hashable, NodeId], set[NodeId]] = {}
+        for sender, payload in view.inbox.items():
+            if isinstance(payload, Echo):
+                support.setdefault((payload.message, payload.source), set()).add(sender)
+
+        outgoing: list[Outgoing] = []
+        newly_accepted: list[tuple[Hashable, NodeId]] = []
+        for key, senders in sorted(support.items(), key=lambda item: repr(item[0])):
+            message, source = key
+            already_accepted = key in self._accepted
+            # Lines 11–14: relay the echo while not yet accepted.
+            if meets_one_third(len(senders), nv) and not already_accepted:
+                outgoing.append(Broadcast(Echo(message, source)))
+            # Lines 15–18: accept on a two-thirds relative quorum.
+            if meets_two_thirds(len(senders), nv) and not already_accepted:
+                newly_accepted.append(key)
+
+        for message, source in newly_accepted:
+            self._accepted[(message, source)] = AcceptanceRecord(
+                message=message, source=source, round_index=view.round_index
+            )
+        return outgoing

@@ -1,0 +1,341 @@
+"""Algorithm 2 — Rotor-Coordinator in the id-only model (Section VI).
+
+The rotor-coordinator's job is to rotate through coordinators such that,
+before any correct node stops, there has been a *good round*: a round in
+which every correct node selected the same coordinator and that coordinator
+is correct.  Classic algorithms get this for free by rotating through the
+``f + 1`` smallest identifiers — impossible here because ``f`` is unknown
+and identifiers are not consecutive.
+
+The algorithm builds, at every node ``v``, a candidate set ``Cv`` that is
+maintained with reliable-broadcast-style echoes (so candidate sets at
+correct nodes agree up to one round of skew, Lemma 6), and cycles through
+``Cv`` in identifier order.  A node stops once it re-selects a coordinator
+it has selected before; Lemma 7 shows a good round must have occurred by
+then, and Theorem 2 bounds termination by ``O(n)`` rounds.
+
+Two classes are exported:
+
+* :class:`RotorCoordinatorCore` — the embeddable state machine used by the
+  consensus algorithms (Algorithms 3 and 5), which drive one *selection
+  round* per phase while feeding every round's inbox into the candidate
+  bookkeeping.
+* :class:`RotorCoordinatorProcess` — the standalone process matching the
+  paper's Algorithm 2 one-round-per-loop-iteration presentation, used by
+  experiment E2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..sim.messages import Broadcast, Inbox, NodeId, Outgoing, Payload
+from ..sim.node import KnownSenders, Process, RoundView
+from .quorums import meets_one_third, meets_two_thirds
+
+__all__ = [
+    "RotorInit",
+    "RotorEcho",
+    "Opinion",
+    "SelectionRecord",
+    "RotorRoundOutcome",
+    "RotorCoordinatorCore",
+    "RotorCoordinatorProcess",
+]
+
+
+@dataclass(frozen=True)
+class RotorInit:
+    """Round-1 announcement: "I am willing to be a coordinator"."""
+
+
+@dataclass(frozen=True)
+class RotorEcho:
+    """``echo(p)`` — a vote that node ``p`` announced itself."""
+
+    candidate: NodeId
+
+
+@dataclass(frozen=True)
+class Opinion:
+    """The coordinator's opinion broadcast at the end of its round."""
+
+    value: Hashable
+
+
+@dataclass(frozen=True)
+class SelectionRecord:
+    """Which coordinator a node selected in one selection round."""
+
+    selection_index: int
+    round_index: int
+    coordinator: NodeId
+
+
+@dataclass(frozen=True)
+class RotorRoundOutcome:
+    """The result of one selection round of the rotor-coordinator."""
+
+    payloads: tuple[Payload, ...]
+    selected: NodeId | None
+    previous: NodeId | None
+    accepted_opinion: Hashable | None
+    opinion_received: bool
+    terminated: bool
+
+
+class RotorCoordinatorCore:
+    """The candidate-set and selection machinery, independent of scheduling.
+
+    The caller is responsible for round structure: it must call
+    :meth:`init_round_one` / :meth:`init_round_two` for the two
+    initialization rounds, :meth:`observe` once per subsequent round (to
+    keep the candidate set fresh and obtain the echo relays to broadcast)
+    and :meth:`execute_selection` in every round that counts as a
+    rotor-coordinator round (every round for Algorithm 2, one per phase for
+    Algorithms 3 and 5).
+    """
+
+    def __init__(self, node_id: NodeId) -> None:
+        self._node_id = node_id
+        self._known = KnownSenders()
+        self._candidates: list[NodeId] = []  # Cv, kept sorted by identifier
+        self._selected: set[NodeId] = set()  # Sv
+        self._selection_history: list[SelectionRecord] = []
+        self._selection_round = 0  # the loop variable r of Algorithm 2
+        self._last_selected: NodeId | None = None
+        self._terminated = False
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    @property
+    def candidates(self) -> tuple[NodeId, ...]:
+        """The ordered candidate set ``Cv``."""
+
+        return tuple(self._candidates)
+
+    @property
+    def selected(self) -> frozenset[NodeId]:
+        """The set ``Sv`` of coordinators selected so far."""
+
+        return frozenset(self._selected)
+
+    @property
+    def selection_history(self) -> tuple[SelectionRecord, ...]:
+        return tuple(self._selection_history)
+
+    @property
+    def last_selected(self) -> NodeId | None:
+        return self._last_selected
+
+    @property
+    def terminated(self) -> bool:
+        return self._terminated
+
+    @property
+    def nv(self) -> int:
+        return self._known.count
+
+    # -- initialization (the first two lines of Algorithm 2) ----------------------
+
+    def init_round_one(self) -> list[Payload]:
+        """Round 1: broadcast ``init``."""
+
+        return [RotorInit()]
+
+    def init_round_two(self, inbox: Inbox) -> list[Payload]:
+        """Round 2: broadcast ``echo(p)`` for every ``p`` whose ``init`` arrived."""
+
+        self._known.observe(inbox)
+        payloads: list[Payload] = []
+        for sender in sorted(inbox.senders):
+            if any(isinstance(p, RotorInit) for p in inbox.payloads_from(sender)):
+                payloads.append(RotorEcho(sender))
+        return payloads
+
+    # -- per-round candidate maintenance (Algorithm 2, lines 7–15) ------------------
+
+    def observe(self, inbox: Inbox) -> list[Payload]:
+        """Update ``nv``/``Cv`` from this round's echoes; return echo relays.
+
+        The candidate set is maintained exactly like reliable-broadcast
+        acceptance (Lemma 6): an ``echo(p)`` relay is broadcast on an
+        ``nv/3`` relative quorum, and ``p`` joins ``Cv`` on a ``2·nv/3``
+        quorum.  Support is counted over distinct senders within the round.
+        """
+
+        self._known.observe(inbox)
+        nv = self._known.count
+        support: dict[NodeId, set[NodeId]] = {}
+        for sender, payload in inbox.items():
+            if isinstance(payload, RotorEcho):
+                support.setdefault(payload.candidate, set()).add(sender)
+
+        relays: list[Payload] = []
+        for candidate in sorted(support):
+            senders = support[candidate]
+            if candidate in self._candidates:
+                continue
+            if meets_one_third(len(senders), nv):
+                relays.append(RotorEcho(candidate))
+            if meets_two_thirds(len(senders), nv):
+                self._add_candidate(candidate)
+        return relays
+
+    def _add_candidate(self, candidate: NodeId) -> None:
+        if candidate not in self._candidates:
+            self._candidates.append(candidate)
+            self._candidates.sort()
+
+    # -- selection rounds (Algorithm 2, lines 16–29) ---------------------------------
+
+    def execute_selection(
+        self,
+        inbox: Inbox,
+        opinion: Hashable,
+        *,
+        round_index: int,
+    ) -> RotorRoundOutcome:
+        """Run the selection part of one rotor-coordinator round.
+
+        ``opinion`` is the node's current opinion ``ov`` — broadcast if the
+        node selects itself.  The accepted opinion reported in the outcome
+        is the ``opinion(x)`` message received *this round* from the
+        coordinator selected in the *previous* selection round (Algorithm 2,
+        lines 17–19).
+        """
+
+        if self._terminated:
+            return RotorRoundOutcome(
+                payloads=(),
+                selected=None,
+                previous=self._last_selected,
+                accepted_opinion=None,
+                opinion_received=False,
+                terminated=True,
+            )
+
+        previous = self._last_selected
+        accepted_opinion: Hashable | None = None
+        opinion_received = False
+        if previous is not None:
+            for payload in inbox.payloads_from(previous):
+                if isinstance(payload, Opinion):
+                    accepted_opinion = payload.value
+                    opinion_received = True
+                    break
+
+        payloads: list[Payload] = []
+        selected: NodeId | None = None
+        if self._candidates:
+            # Line 16: p ← Cv[r mod |Cv|].
+            selected = self._candidates[self._selection_round % len(self._candidates)]
+            if selected in self._selected:
+                # Line 21–23: re-selection terminates the rotor.
+                self._terminated = True
+                self._last_selected = selected
+                return RotorRoundOutcome(
+                    payloads=tuple(payloads),
+                    selected=selected,
+                    previous=previous,
+                    accepted_opinion=accepted_opinion,
+                    opinion_received=opinion_received,
+                    terminated=True,
+                )
+            self._selected.add(selected)
+            self._selection_history.append(
+                SelectionRecord(
+                    selection_index=self._selection_round,
+                    round_index=round_index,
+                    coordinator=selected,
+                )
+            )
+            self._last_selected = selected
+            if selected == self._node_id:
+                # Lines 25–28: the coordinator broadcasts its opinion.
+                payloads.append(Opinion(opinion))
+
+        self._selection_round += 1
+        return RotorRoundOutcome(
+            payloads=tuple(payloads),
+            selected=selected,
+            previous=previous,
+            accepted_opinion=accepted_opinion,
+            opinion_received=opinion_received,
+            terminated=False,
+        )
+
+
+class RotorCoordinatorProcess(Process):
+    """Standalone Algorithm 2: one selection round per network round.
+
+    ``opinion`` is the node's fixed opinion ``ov`` (in the consensus
+    algorithms the opinion evolves; here it is a constant input, which is
+    all experiment E2 needs to verify the good-round property).
+    """
+
+    def __init__(self, node_id: NodeId, *, opinion: Hashable = None) -> None:
+        super().__init__(node_id)
+        self._core = RotorCoordinatorCore(node_id)
+        self._opinion = opinion if opinion is not None else node_id
+        self._accepted_opinions: list[tuple[int, NodeId, Hashable]] = []
+        self._output: Hashable | None = None
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def core(self) -> RotorCoordinatorCore:
+        return self._core
+
+    @property
+    def opinion(self) -> Hashable:
+        return self._opinion
+
+    @property
+    def selection_history(self) -> tuple[SelectionRecord, ...]:
+        return self._core.selection_history
+
+    @property
+    def accepted_opinions(self) -> tuple[tuple[int, NodeId, Hashable], ...]:
+        """``(round, coordinator, opinion)`` triples accepted so far."""
+
+        return tuple(self._accepted_opinions)
+
+    @property
+    def output(self) -> Hashable | None:
+        """The last coordinator opinion accepted before termination."""
+
+        return self._output
+
+    @property
+    def decided(self) -> bool:
+        return self.halted
+
+    # -- state machine ----------------------------------------------------------
+
+    def step(self, view: RoundView) -> Sequence[Outgoing]:
+        if view.round_index == 1:
+            return [Broadcast(p) for p in self._core.init_round_one()]
+        if view.round_index == 2:
+            return [Broadcast(p) for p in self._core.init_round_two(view.inbox)]
+
+        # Rounds 3 onwards: lines 5–30 of Algorithm 2, one iteration per round.
+        payloads = self._core.observe(view.inbox)
+        outcome = self._core.execute_selection(
+            view.inbox, self._opinion, round_index=view.round_index
+        )
+        if outcome.opinion_received and outcome.previous is not None:
+            self._accepted_opinions.append(
+                (view.round_index, outcome.previous, outcome.accepted_opinion)
+            )
+            self._output = outcome.accepted_opinion
+        if outcome.terminated:
+            self.halt()
+            return ()
+        payloads = list(payloads) + list(outcome.payloads)
+        return [Broadcast(p) for p in payloads]

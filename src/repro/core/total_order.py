@@ -1,0 +1,370 @@
+"""Algorithm 6 — Total ordering of events in a dynamic network (Section XI).
+
+Nodes may join and leave over time (subject to ``n > 3f`` holding in every
+round).  Each node witnesses events, broadcasts them, and the system must
+agree on a single growing sequence of events.  The construction runs one
+*parallel consensus* instance per protocol round: the instance started in
+round ``r`` decides on the set of events that were broadcast in round
+``r − 1``, and an instance becomes *final* once enough rounds have elapsed
+for it to be guaranteed terminated everywhere (the paper's horizon
+``r − r' > 5·|S_{r'}|/2 + 2``).  The output chain is the concatenation of
+the final instances' outputs in instance order.
+
+The guarantees (Theorem 6):
+
+* **Chain-prefix** — the chains output by any two correct nodes are
+  prefixes of one another;
+* **Chain-growth** — if a correct node submits an event every round, the
+  chain keeps growing.
+
+Membership protocol: a joining node broadcasts ``present``; current members
+reply with ``(ack, r)`` carrying their round number and add the newcomer to
+their membership view ``S``; the joiner adopts the majority round number
+plus one and initialises ``S`` to the ack senders.  A leaving node
+broadcasts ``absent`` and keeps participating in its outstanding consensus
+instances before going quiet.
+
+Genesis nodes (the nodes present from the very first round) are configured
+with the initial membership directly — the paper's model likewise assumes
+the initial participants are consistently initialised (Section III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
+
+from ..sim.messages import Broadcast, Inbox, NodeId, Outgoing, Payload, Unicast
+from ..sim.node import Process, RoundView
+from .parallel_consensus import ParallelConsensusEngine
+
+__all__ = [
+    "PresentMsg",
+    "AckMsg",
+    "AbsentMsg",
+    "EventMsg",
+    "PCWrap",
+    "ChainEntry",
+    "TotalOrderProcess",
+    "finality_horizon",
+]
+
+
+@dataclass(frozen=True)
+class PresentMsg:
+    """Join announcement broadcast by a node that wants to participate."""
+
+
+@dataclass(frozen=True)
+class AckMsg:
+    """Reply to ``present`` carrying the responder's current round number."""
+
+    round_number: int
+
+
+@dataclass(frozen=True)
+class AbsentMsg:
+    """Leave announcement."""
+
+
+@dataclass(frozen=True)
+class EventMsg:
+    """An event witnessed by a node, tagged with the protocol round."""
+
+    event: Hashable
+    round_number: int
+
+
+@dataclass(frozen=True)
+class PCWrap:
+    """A parallel-consensus payload multiplexed onto one round-instance."""
+
+    instance_round: int
+    payload: Payload
+
+
+@dataclass(frozen=True)
+class ChainEntry:
+    """One ordered event: which instance decided it and who reported it."""
+
+    instance_round: int
+    reporter: NodeId
+    event: Hashable
+
+    def key(self) -> tuple:
+        return (self.instance_round, repr(self.reporter), repr(self.event))
+
+
+def finality_horizon(membership_size: int) -> float:
+    """The paper's finality horizon ``5·|S|/2 + 2`` for one instance."""
+
+    return 5.0 * membership_size / 2.0 + 2.0
+
+
+@dataclass
+class _InstanceRecord:
+    """A per-round parallel-consensus instance and its bookkeeping."""
+
+    instance_round: int
+    engine: ParallelConsensusEngine
+    membership: frozenset[NodeId]
+    started_at_local_round: int
+    local_round: int = 0
+    finalized: bool = False
+
+
+class TotalOrderProcess(Process):
+    """A correct participant of the dynamic total-ordering protocol.
+
+    Parameters
+    ----------
+    node_id:
+        The node's identifier.
+    initial_members:
+        The genesis membership (including this node) when the node is
+        present from the first round; ``None`` marks a joining node that
+        must run the ``present``/``ack`` handshake first.
+    events:
+        Either a mapping ``protocol round -> event`` or a callable
+        ``(round) -> event | None`` describing the events this node
+        witnesses.
+    leave_round:
+        Protocol round at which the node announces ``absent`` and starts
+        winding down (``None`` = stays forever).
+    max_chain_rounds:
+        Safety valve: instances older than this are dropped from memory
+        once finalized.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        *,
+        initial_members: Iterable[NodeId] | None = None,
+        events: Mapping[int, Hashable] | Callable[[int], Hashable | None] | None = None,
+        leave_round: int | None = None,
+    ) -> None:
+        super().__init__(node_id)
+        self._joining = initial_members is None
+        self._members: set[NodeId] = set(initial_members or ())
+        if not self._joining:
+            self._members.add(node_id)
+        self._round = 0  # the protocol round r
+        self._join_phase = 0  # 0 = not started, 1 = present sent, 2 = active
+        if not self._joining:
+            self._join_phase = 2
+        self._events = events or {}
+        self._leave_round = leave_round
+        self._leaving = False
+        self._left = False
+        self._instances: dict[int, _InstanceRecord] = {}
+        self._pending_events: list[tuple[NodeId, Hashable]] = []
+        self._chain: list[ChainEntry] = []
+        self._final_upto = 0
+
+    # -- results -----------------------------------------------------------------
+
+    @property
+    def chain(self) -> tuple[ChainEntry, ...]:
+        """The totally ordered sequence of events output so far."""
+
+        return tuple(self._chain)
+
+    @property
+    def output(self) -> tuple[ChainEntry, ...] | None:
+        return tuple(self._chain) if self._chain else None
+
+    @property
+    def decided(self) -> bool:
+        return bool(self._chain)
+
+    @property
+    def members(self) -> frozenset[NodeId]:
+        """The node's current membership view ``S``."""
+
+        return frozenset(self._members)
+
+    @property
+    def protocol_round(self) -> int:
+        return self._round
+
+    @property
+    def final_round(self) -> int:
+        """``R`` — the largest round whose instances are all final."""
+
+        return self._final_upto
+
+    @property
+    def joined(self) -> bool:
+        return self._join_phase == 2
+
+    # -- event source -------------------------------------------------------------
+
+    def _witnessed_event(self, round_number: int) -> Hashable | None:
+        if callable(self._events):
+            return self._events(round_number)
+        return self._events.get(round_number)
+
+    # -- the state machine ------------------------------------------------------------
+
+    def step(self, view: RoundView) -> Sequence[Outgoing]:
+        if self._left:
+            self.halt()
+            return ()
+        if self._joining and self._join_phase < 2:
+            return self._join_handshake(view)
+        return self._participate(view)
+
+    # The present/ack handshake (Algorithm 6, lines 1–6).
+    def _join_handshake(self, view: RoundView) -> Sequence[Outgoing]:
+        if self._join_phase == 0:
+            self._join_phase = 1
+            self._join_wait = 0
+            return [Broadcast(PresentMsg())]
+        # join phase 1: the acks arrive two rounds after `present` was sent
+        # (one round for `present` to be delivered, one for the replies).
+        acks: dict[NodeId, int] = {}
+        for sender, payload in view.inbox.items():
+            if isinstance(payload, AckMsg):
+                acks[sender] = payload.round_number
+        if not acks:
+            self._join_wait = getattr(self, "_join_wait", 0) + 1
+            if self._join_wait >= 3:
+                # Nobody answered (e.g. our `present` was lost to churn);
+                # start the handshake over.
+                self._join_phase = 0
+            return ()
+        counts: dict[int, int] = {}
+        for value in acks.values():
+            counts[value] = counts.get(value, 0) + 1
+        majority_round = max(counts.items(), key=lambda item: (item[1], -item[0]))[0]
+        # The responders stamped the round in which they processed our
+        # `present`; by the time their acks reach us they have advanced one
+        # more round, so adopting `majority_round` here and letting
+        # ``_participate`` increment it keeps our round counter aligned with
+        # theirs (which is what makes the instance tags line up).
+        self._round = majority_round
+        self._members = set(acks) | {self.node_id}
+        self._join_phase = 2
+        return self._participate(view, just_joined=True)
+
+    def _participate(self, view: RoundView, *, just_joined: bool = False) -> Sequence[Outgoing]:
+        outgoing: list[Outgoing] = []
+        self._round += 1
+        round_number = self._round
+
+        # -- 1. membership and event intake -------------------------------------
+        per_instance_inbox: dict[int, list[tuple[NodeId, Payload]]] = {}
+        incoming_events: list[tuple[NodeId, Hashable]] = []
+        for sender, payload in view.inbox.items():
+            if isinstance(payload, PresentMsg):
+                self._members.add(sender)
+                outgoing.append(Unicast(sender, AckMsg(round_number)))
+            elif isinstance(payload, AbsentMsg):
+                self._members.discard(sender)
+            elif isinstance(payload, EventMsg):
+                # Accept events tagged with the previous protocol round (a
+                # small tolerance of one round absorbs the join skew).
+                if payload.round_number >= round_number - 2:
+                    incoming_events.append((sender, payload.event))
+            elif isinstance(payload, PCWrap):
+                per_instance_inbox.setdefault(payload.instance_round, []).append(
+                    (sender, payload.payload)
+                )
+
+        # -- 2. our own event for this round ----------------------------------------
+        if not self._leaving and not just_joined:
+            event = self._witnessed_event(round_number)
+            if event is not None:
+                outgoing.append(Broadcast(EventMsg(event, round_number)))
+
+        # -- 3. leaving --------------------------------------------------------------
+        if (
+            self._leave_round is not None
+            and round_number >= self._leave_round
+            and not self._leaving
+        ):
+            self._leaving = True
+            outgoing.append(Broadcast(AbsentMsg()))
+
+        # -- 4. start this round's parallel-consensus instance -----------------------
+        if not self._leaving and not just_joined:
+            pairs = {(sender, repr(event)): event for sender, event in incoming_events}
+            engine = ParallelConsensusEngine(
+                self.node_id,
+                pairs,
+                allowed_senders=frozenset(self._members),
+            )
+            self._instances[round_number] = _InstanceRecord(
+                instance_round=round_number,
+                engine=engine,
+                membership=frozenset(self._members),
+                started_at_local_round=round_number,
+            )
+
+        # -- 5. advance every live instance ------------------------------------------
+        for record in list(self._instances.values()):
+            if record.finalized:
+                continue
+            record.local_round += 1
+            pairs = per_instance_inbox.get(record.instance_round, [])
+            inbox = Inbox.from_pairs(pairs)
+            payloads = record.engine.step(record.local_round, inbox)
+            for payload in payloads:
+                outgoing.append(Broadcast(PCWrap(record.instance_round, payload)))
+
+        # -- 6. finality and chain output -------------------------------------------
+        self._update_chain(round_number)
+
+        # -- 7. wind down after leaving -----------------------------------------------
+        if self._leaving:
+            outstanding = [
+                record
+                for record in self._instances.values()
+                if not record.finalized and not record.engine.all_decided
+            ]
+            if not outstanding:
+                self._left = True
+        return outgoing
+
+    # -- finality ---------------------------------------------------------------------
+
+    def _instance_final(self, record: _InstanceRecord, round_number: int) -> bool:
+        elapsed = round_number - record.instance_round
+        return (
+            elapsed > finality_horizon(len(record.membership))
+            and record.engine.all_decided
+        )
+
+    def _update_chain(self, round_number: int) -> None:
+        # R (line 29) is the largest round such that every round up to R is
+        # final; we additionally require the local engine to have decided
+        # (it always has, well within the horizon, but this keeps the output
+        # well-defined even if the horizon is made artificially tight).
+        next_round = self._final_upto + 1
+        while next_round in self._instances or next_round < round_number:
+            record = self._instances.get(next_round)
+            if record is None:
+                if next_round >= round_number:
+                    break
+                # A round for which we never started an instance (e.g. we
+                # had not joined yet) contributes nothing.
+                self._final_upto = next_round
+                next_round += 1
+                continue
+            if not self._instance_final(record, round_number):
+                break
+            if not record.finalized:
+                record.finalized = True
+                outputs = record.engine.outputs
+                for key in sorted(outputs, key=repr):
+                    reporter, _ = key
+                    self._chain.append(
+                        ChainEntry(
+                            instance_round=record.instance_round,
+                            reporter=reporter,
+                            event=outputs[key],
+                        )
+                    )
+            self._final_upto = next_round
+            next_round += 1

@@ -1,0 +1,13 @@
+"""Dynamic-network substrate: churn schedules and churning system assembly."""
+
+from .churn import ChurnEvent, ChurnSchedule, generate_churn_schedule
+from .membership import DynamicSystem, build_total_order_system, every_round_events
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "DynamicSystem",
+    "build_total_order_system",
+    "every_round_events",
+    "generate_churn_schedule",
+]

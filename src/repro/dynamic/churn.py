@@ -1,0 +1,165 @@
+"""Churn schedules for dynamic-network experiments (Section XI).
+
+A churn schedule describes when nodes join and leave a running system.  The
+adversary of Section XI controls the join/leave pattern subject to the
+single constraint that ``n > 3f`` holds at the start of every round; the
+generator below enforces that constraint while producing randomised
+schedules for experiments E8 and E10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..sim.messages import NodeId
+from ..sim.rng import make_rng
+
+__all__ = ["ChurnEvent", "ChurnSchedule", "generate_churn_schedule"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change."""
+
+    round_index: int
+    node_id: NodeId
+    kind: str  # "join" or "leave"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("join", "leave"):
+            raise ValueError(f"unknown churn event kind: {self.kind!r}")
+
+
+@dataclass
+class ChurnSchedule:
+    """A validated sequence of joins and leaves.
+
+    ``initial_correct`` / ``initial_byzantine`` describe the genesis
+    membership; ``events`` the subsequent changes.  :meth:`membership_at`
+    replays the schedule, which the tests use to check the ``n > 3f``
+    invariant round by round.
+    """
+
+    initial_correct: tuple[NodeId, ...]
+    initial_byzantine: tuple[NodeId, ...]
+    events: tuple[ChurnEvent, ...] = ()
+    byzantine_joiners: frozenset[NodeId] = frozenset()
+
+    def joins(self) -> dict[int, list[NodeId]]:
+        grouped: dict[int, list[NodeId]] = {}
+        for event in self.events:
+            if event.kind == "join":
+                grouped.setdefault(event.round_index, []).append(event.node_id)
+        return grouped
+
+    def leaves(self) -> dict[int, list[NodeId]]:
+        grouped: dict[int, list[NodeId]] = {}
+        for event in self.events:
+            if event.kind == "leave":
+                grouped.setdefault(event.round_index, []).append(event.node_id)
+        return grouped
+
+    def is_byzantine(self, node_id: NodeId) -> bool:
+        return node_id in self.initial_byzantine or node_id in self.byzantine_joiners
+
+    def membership_at(self, round_index: int) -> tuple[set[NodeId], set[NodeId]]:
+        """``(correct, byzantine)`` active at the start of ``round_index``."""
+
+        correct = set(self.initial_correct)
+        byzantine = set(self.initial_byzantine)
+        for event in self.events:
+            if event.round_index > round_index:
+                continue
+            target = byzantine if self.is_byzantine(event.node_id) else correct
+            if event.kind == "join":
+                target.add(event.node_id)
+            else:
+                target.discard(event.node_id)
+        return correct, byzantine
+
+    def satisfies_resiliency(self, horizon: int) -> bool:
+        """True when ``n > 3f`` holds at the start of every round ≤ horizon."""
+
+        for round_index in range(1, horizon + 1):
+            correct, byzantine = self.membership_at(round_index)
+            n = len(correct) + len(byzantine)
+            if n <= 3 * len(byzantine):
+                return False
+        return True
+
+    def all_node_ids(self) -> set[NodeId]:
+        ids = set(self.initial_correct) | set(self.initial_byzantine)
+        ids.update(event.node_id for event in self.events)
+        return ids
+
+
+def generate_churn_schedule(
+    *,
+    initial_correct: int,
+    initial_byzantine: int,
+    rounds: int,
+    join_rate: float = 0.1,
+    leave_rate: float = 0.1,
+    byzantine_join_fraction: float = 0.0,
+    id_pool: Iterator[NodeId] | None = None,
+    seed: int = 0,
+    min_round: int = 3,
+) -> ChurnSchedule:
+    """Generate a random churn schedule that preserves ``n > 3f``.
+
+    ``join_rate``/``leave_rate`` are per-round probabilities of one join /
+    one leave.  Joins draw fresh identifiers; leaves pick a random *correct*
+    current member that joined at genesis or earlier (leaving Byzantine
+    nodes never helps the adversary, and removing them never threatens the
+    resiliency constraint, so the generator keeps them in place for a
+    worst-case schedule).  Any candidate event that would violate
+    ``n > 3f`` is dropped.
+    """
+
+    rng = make_rng(seed)
+    next_id = 20_000_000
+
+    def fresh_id() -> NodeId:
+        nonlocal next_id
+        if id_pool is not None:
+            return next(id_pool)
+        next_id += int(rng.integers(1, 50))
+        return next_id
+
+    correct = {1_000_000 + i * 37 for i in range(initial_correct)}
+    byzantine = {2_000_000 + i * 41 for i in range(initial_byzantine)}
+    events: list[ChurnEvent] = []
+    byz_joiners: set[NodeId] = set()
+
+    live_correct = set(correct)
+    live_byzantine = set(byzantine)
+    for round_index in range(min_round, rounds + 1):
+        if rng.random() < join_rate:
+            node = fresh_id()
+            is_byz = rng.random() < byzantine_join_fraction
+            n_after = len(live_correct) + len(live_byzantine) + 1
+            f_after = len(live_byzantine) + (1 if is_byz else 0)
+            if n_after > 3 * f_after:
+                events.append(ChurnEvent(round_index, node, "join"))
+                if is_byz:
+                    byz_joiners.add(node)
+                    live_byzantine.add(node)
+                else:
+                    live_correct.add(node)
+        if rng.random() < leave_rate and len(live_correct) > 1:
+            candidates = sorted(live_correct)
+            node = candidates[int(rng.integers(0, len(candidates)))]
+            n_after = len(live_correct) - 1 + len(live_byzantine)
+            if n_after > 3 * len(live_byzantine):
+                events.append(ChurnEvent(round_index, node, "leave"))
+                live_correct.discard(node)
+
+    return ChurnSchedule(
+        initial_correct=tuple(sorted(correct)),
+        initial_byzantine=tuple(sorted(byzantine)),
+        events=tuple(events),
+        byzantine_joiners=frozenset(byz_joiners),
+    )

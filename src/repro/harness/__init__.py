@@ -1,0 +1,22 @@
+"""Experiment harness: definitions of E1–E10 and the runner/reporter."""
+
+from .ablations import ABLATIONS, a1_substitution_rule, a2_misconfigured_fault_bound
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    all_experiment_ids,
+    run_experiment,
+)
+from .runner import run_many, write_markdown_report
+
+__all__ = [
+    "ABLATIONS",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "a1_substitution_rule",
+    "a2_misconfigured_fault_bound",
+    "all_experiment_ids",
+    "run_experiment",
+    "run_many",
+    "write_markdown_report",
+]

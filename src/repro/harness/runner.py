@@ -1,0 +1,75 @@
+"""Experiment runner: run any subset of E1–E10 and render a report.
+
+Command line usage (from the repository root, after ``pip install -e .``)::
+
+    python -m repro.harness.runner            # run everything at scale 1
+    python -m repro.harness.runner E3 E6      # run a subset
+    python -m repro.harness.runner --scale 2  # larger sweeps
+    python -m repro.harness.runner --markdown results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence, TextIO
+
+from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
+
+__all__ = ["run_many", "write_markdown_report", "main"]
+
+
+def run_many(
+    experiment_ids: Sequence[str] | None = None,
+    *,
+    scale: int = 1,
+    stream: TextIO | None = None,
+) -> list[ExperimentResult]:
+    """Run the requested experiments, printing each table as it finishes."""
+
+    stream = stream or sys.stdout
+    ids = list(experiment_ids) if experiment_ids else list(EXPERIMENTS)
+    results: list[ExperimentResult] = []
+    for experiment_id in ids:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, scale=scale)
+        elapsed = time.perf_counter() - start
+        results.append(result)
+        print(result.to_text(), file=stream)
+        print(f"({experiment_id} finished in {elapsed:.1f}s)\n", file=stream)
+    return results
+
+
+def write_markdown_report(results: Sequence[ExperimentResult], path: str) -> None:
+    """Write the experiment results as a Markdown document."""
+
+    parts = ["# Reproduction results", ""]
+    for result in results:
+        parts.append(result.to_markdown())
+        parts.append("")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(parts))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all of E1–E10)",
+    )
+    parser.add_argument("--scale", type=int, default=1, help="sweep size multiplier")
+    parser.add_argument(
+        "--markdown", metavar="PATH", help="also write a Markdown report to PATH"
+    )
+    args = parser.parse_args(argv)
+    results = run_many(args.experiments or None, scale=args.scale)
+    if args.markdown:
+        write_markdown_report(results, args.markdown)
+        print(f"markdown report written to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

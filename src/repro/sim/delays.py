@@ -1,0 +1,216 @@
+"""Message-delay models.
+
+The paper's algorithms assume a *synchronous* system: a message sent in
+round ``r`` is delivered in round ``r + 1``.  Section IX proves that this
+assumption is necessary — with unknown ``n`` and ``f``, consensus is
+impossible in asynchronous systems (Lemma 14) and in semi-synchronous
+systems where the delay bound Δ exists but is unknown (Lemma 15).
+
+To reproduce those constructions the simulator supports pluggable delay
+models.  A delay model maps each sent message to its delivery round; the
+synchronous model is the default and is what every experiment other than
+E6 uses.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from .messages import NodeId
+
+__all__ = [
+    "DelayModel",
+    "SynchronousDelay",
+    "UniformRandomDelay",
+    "BoundedUnknownDelay",
+    "PartitionDelay",
+    "FixedScheduleDelay",
+]
+
+
+class DelayModel(abc.ABC):
+    """Assigns a delivery round to every message."""
+
+    @abc.abstractmethod
+    def delivery_round(
+        self,
+        sender: NodeId,
+        dest: NodeId,
+        sent_round: int,
+        rng: np.random.Generator,
+    ) -> int:
+        """Return the round in which the message is delivered (> sent_round)."""
+
+    @property
+    def synchronous(self) -> bool:
+        """True when every message is delivered exactly one round later."""
+
+        return False
+
+
+class SynchronousDelay(DelayModel):
+    """The paper's default model: delivery in the next round."""
+
+    def delivery_round(
+        self,
+        sender: NodeId,
+        dest: NodeId,
+        sent_round: int,
+        rng: np.random.Generator,
+    ) -> int:
+        return sent_round + 1
+
+    @property
+    def synchronous(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "SynchronousDelay()"
+
+
+@dataclass
+class UniformRandomDelay(DelayModel):
+    """Each message takes between 1 and ``max_delay`` rounds, uniformly.
+
+    This models an *asynchronous-looking* network whose delays are finite
+    but unpredictable.  Protocols that implicitly rely on the synchronous
+    round structure (all of the paper's algorithms) can violate safety under
+    this model; experiment E6 quantifies how often.
+    """
+
+    max_delay: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_delay < 1:
+            raise ValueError("max_delay must be at least 1")
+
+    def delivery_round(
+        self,
+        sender: NodeId,
+        dest: NodeId,
+        sent_round: int,
+        rng: np.random.Generator,
+    ) -> int:
+        return sent_round + int(rng.integers(1, self.max_delay + 1))
+
+
+@dataclass
+class BoundedUnknownDelay(DelayModel):
+    """Semi-synchronous model of Lemma 15: a fixed bound Δ exists but the
+    nodes do not know it.
+
+    Messages between nodes in the same group are delivered in the next
+    round; messages that cross groups take exactly ``delta`` rounds.  With
+    ``delta`` larger than the time either group needs to decide, this
+    realises the execution ``E_s`` constructed in the proof of Lemma 15.
+    """
+
+    groups: tuple[frozenset[NodeId], ...]
+    delta: int = 50
+
+    def __post_init__(self) -> None:
+        if self.delta < 1:
+            raise ValueError("delta must be at least 1")
+        self.groups = tuple(frozenset(g) for g in self.groups)
+
+    def _group_of(self, node: NodeId) -> int:
+        for index, group in enumerate(self.groups):
+            if node in group:
+                return index
+        return -1
+
+    def delivery_round(
+        self,
+        sender: NodeId,
+        dest: NodeId,
+        sent_round: int,
+        rng: np.random.Generator,
+    ) -> int:
+        if self._group_of(sender) == self._group_of(dest):
+            return sent_round + 1
+        return sent_round + self.delta
+
+
+@dataclass
+class PartitionDelay(DelayModel):
+    """Asynchronous model of Lemma 14: cross-partition messages are delayed
+    arbitrarily (here: until ``heal_round``, possibly never).
+
+    Within a partition the system behaves synchronously, so each side of
+    the partition is indistinguishable — to its members — from a system in
+    which the other side does not exist.  That is exactly the
+    indistinguishability argument of Lemma 14.
+    """
+
+    groups: tuple[frozenset[NodeId], ...]
+    heal_round: int | None = None
+
+    def __post_init__(self) -> None:
+        self.groups = tuple(frozenset(g) for g in self.groups)
+
+    def _group_of(self, node: NodeId) -> int:
+        for index, group in enumerate(self.groups):
+            if node in group:
+                return index
+        return -1
+
+    def delivery_round(
+        self,
+        sender: NodeId,
+        dest: NodeId,
+        sent_round: int,
+        rng: np.random.Generator,
+    ) -> int:
+        if self._group_of(sender) == self._group_of(dest):
+            return sent_round + 1
+        if self.heal_round is None:
+            # "never": schedule far enough in the future that no bounded
+            # experiment observes the delivery.
+            return sent_round + 1_000_000
+        return max(sent_round + 1, self.heal_round)
+
+
+@dataclass
+class FixedScheduleDelay(DelayModel):
+    """Delays looked up from an explicit ``(sender, dest) -> delay`` table.
+
+    Pairs absent from the table fall back to ``default`` rounds of delay.
+    Useful for hand-constructed executions in tests.
+    """
+
+    table: Mapping[tuple[NodeId, NodeId], int] = field(default_factory=dict)
+    default: int = 1
+
+    def delivery_round(
+        self,
+        sender: NodeId,
+        dest: NodeId,
+        sent_round: int,
+        rng: np.random.Generator,
+    ) -> int:
+        delay = self.table.get((sender, dest), self.default)
+        if delay < 1:
+            raise ValueError("delays must be at least one round")
+        return sent_round + delay
+
+
+def split_into_groups(ids: Iterable[NodeId], sizes: Iterable[int]) -> tuple[frozenset[NodeId], ...]:
+    """Partition ``ids`` (in sorted order) into consecutive groups of ``sizes``.
+
+    Convenience used by the impossibility experiments to build the ``A``/``B``
+    partitions of Lemmas 14 and 15.
+    """
+
+    ordered = sorted(ids)
+    groups: list[frozenset[NodeId]] = []
+    start = 0
+    for size in sizes:
+        groups.append(frozenset(ordered[start : start + size]))
+        start += size
+    if start != len(ordered):
+        groups.append(frozenset(ordered[start:]))
+    return tuple(groups)

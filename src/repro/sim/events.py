@@ -1,0 +1,82 @@
+"""Structured trace events.
+
+Traces are optional (they cost memory proportional to message count) and
+are mainly used by the debugging helpers in the examples and by a handful
+of integration tests that assert on *when* something happened rather than
+just on final outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterator
+
+from .messages import NodeId, Payload
+
+__all__ = ["EventKind", "TraceEvent", "Trace"]
+
+
+class EventKind(Enum):
+    """The kinds of things the simulator can record."""
+
+    ROUND_START = "round_start"
+    MESSAGE_SENT = "message_sent"
+    MESSAGE_DELIVERED = "message_delivered"
+    NODE_DECIDED = "node_decided"
+    NODE_HALTED = "node_halted"
+    NODE_JOINED = "node_joined"
+    NODE_LEFT = "node_left"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    kind: EventKind
+    round_index: int
+    node_id: NodeId | None = None
+    peer_id: NodeId | None = None
+    payload: Payload | None = None
+    detail: Any = None
+
+
+@dataclass
+class Trace:
+    """An append-only list of :class:`TraceEvent` with query helpers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, event: TraceEvent) -> None:
+        if self.enabled:
+            self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    # -- queries ---------------------------------------------------------------
+
+    def of_kind(self, kind: EventKind) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_node(self, node_id: NodeId) -> list[TraceEvent]:
+        return [e for e in self.events if e.node_id == node_id]
+
+    def in_round(self, round_index: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.round_index == round_index]
+
+    def where(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
+        return [e for e in self.events if predicate(e)]
+
+    def decisions(self) -> list[TraceEvent]:
+        return self.of_kind(EventKind.NODE_DECIDED)
+
+    def first(self, kind: EventKind) -> TraceEvent | None:
+        for event in self.events:
+            if event.kind == kind:
+                return event
+        return None

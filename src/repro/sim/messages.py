@@ -1,0 +1,224 @@
+"""Message model for the synchronous round-based system.
+
+The paper's model (Section IV, the *id-only model*) has these properties,
+all of which are encoded here or in :mod:`repro.sim.network`:
+
+* Computation proceeds in rounds; a message sent in round ``r`` is consumed
+  in round ``r + 1`` (later for the semi-synchronous / asynchronous delay
+  models used by the Section IX experiments).
+* The identifier of the sender is attached to every message and cannot be
+  forged on the direct channel — a Byzantine node can *claim* things about
+  other nodes inside the payload, but the envelope's ``sender`` field is
+  always truthful.
+* Duplicate messages from the same node within one round are discarded;
+  this is enforced by :class:`Inbox`, which stores at most one copy of each
+  distinct payload per sender per round.
+
+Payloads are ordinary hashable Python values.  Protocol implementations in
+:mod:`repro.core` use small frozen dataclasses (e.g. ``Echo``, ``Prefer``)
+so that payload equality is structural and hashable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping
+
+NodeId = int
+Payload = Hashable
+
+__all__ = [
+    "NodeId",
+    "Payload",
+    "Broadcast",
+    "Unicast",
+    "Outgoing",
+    "Envelope",
+    "Inbox",
+    "InboxBuilder",
+]
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """Send ``payload`` to every node currently in the system (incl. self).
+
+    This mirrors the paper's "broadcast" primitive: a correct node does not
+    need to know who the recipients are; the network fans the message out to
+    whoever is present in the delivery round.
+    """
+
+    payload: Payload
+
+
+@dataclass(frozen=True)
+class Unicast:
+    """Send ``payload`` to a single, explicitly named destination.
+
+    The paper allows a node to "send a message to a specific node that sent
+    a message to the node before"; protocols only use this for targeted
+    replies (e.g. the ``ack`` replies of Algorithm 6).  Byzantine adversary
+    strategies use it freely to equivocate.
+    """
+
+    dest: NodeId
+    payload: Payload
+
+
+Outgoing = Broadcast | Unicast
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A payload in flight, stamped with its true sender and timing."""
+
+    sender: NodeId
+    dest: NodeId
+    payload: Payload
+    sent_round: int
+    deliver_round: int
+
+    def __post_init__(self) -> None:
+        if self.deliver_round <= self.sent_round:
+            raise ValueError(
+                "a message cannot be delivered in the round it was sent "
+                f"(sent {self.sent_round}, deliver {self.deliver_round})"
+            )
+
+
+class Inbox:
+    """The set of messages a node receives at the start of one round.
+
+    Messages are grouped by (truthful) sender identifier.  Duplicate
+    payloads from the same sender in the same round are collapsed, matching
+    the model's "duplicate messages from the same node in a round are simply
+    discarded".
+    """
+
+    __slots__ = ("_by_sender",)
+
+    def __init__(self, by_sender: Mapping[NodeId, Iterable[Payload]] | None = None):
+        collapsed: dict[NodeId, tuple[Payload, ...]] = {}
+        if by_sender:
+            for sender, payloads in by_sender.items():
+                seen: list[Payload] = []
+                for payload in payloads:
+                    if payload not in seen:
+                        seen.append(payload)
+                if seen:
+                    collapsed[sender] = tuple(seen)
+        self._by_sender = collapsed
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def senders(self) -> frozenset[NodeId]:
+        """Identifiers of every node that delivered at least one message."""
+
+        return frozenset(self._by_sender)
+
+    def payloads_from(self, sender: NodeId) -> tuple[Payload, ...]:
+        """All distinct payloads delivered by ``sender`` this round."""
+
+        return self._by_sender.get(sender, ())
+
+    def items(self) -> Iterator[tuple[NodeId, Payload]]:
+        """Iterate over ``(sender, payload)`` pairs."""
+
+        for sender, payloads in self._by_sender.items():
+            for payload in payloads:
+                yield sender, payload
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._by_sender.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._by_sender)
+
+    def __contains__(self, sender: NodeId) -> bool:
+        return sender in self._by_sender
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Inbox({dict(self._by_sender)!r})"
+
+    # -- protocol-oriented queries ----------------------------------------
+
+    def senders_of(self, payload: Payload) -> frozenset[NodeId]:
+        """The distinct senders that delivered exactly ``payload``."""
+
+        return frozenset(
+            sender
+            for sender, payloads in self._by_sender.items()
+            if payload in payloads
+        )
+
+    def count(self, payload: Payload) -> int:
+        """Number of distinct senders that delivered exactly ``payload``."""
+
+        return len(self.senders_of(payload))
+
+    def senders_matching(
+        self, predicate: Callable[[Payload], bool]
+    ) -> frozenset[NodeId]:
+        """Senders that delivered at least one payload satisfying ``predicate``."""
+
+        return frozenset(
+            sender
+            for sender, payloads in self._by_sender.items()
+            if any(predicate(p) for p in payloads)
+        )
+
+    def payloads_matching(
+        self, predicate: Callable[[Payload], bool]
+    ) -> list[tuple[NodeId, Payload]]:
+        """``(sender, payload)`` pairs whose payload satisfies ``predicate``."""
+
+        return [(s, p) for s, p in self.items() if predicate(p)]
+
+    def received_from(self, sender: NodeId, payload: Payload) -> bool:
+        """True when ``sender`` delivered exactly ``payload`` this round."""
+
+        return payload in self._by_sender.get(sender, ())
+
+    def group_by_type(self) -> dict[type, list[tuple[NodeId, Payload]]]:
+        """Group ``(sender, payload)`` pairs by the payload's Python type."""
+
+        grouped: dict[type, list[tuple[NodeId, Payload]]] = {}
+        for sender, payload in self.items():
+            grouped.setdefault(type(payload), []).append((sender, payload))
+        return grouped
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "Inbox":
+        return _EMPTY_INBOX
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[tuple[NodeId, Payload]]) -> "Inbox":
+        by_sender: dict[NodeId, list[Payload]] = {}
+        for sender, payload in pairs:
+            by_sender.setdefault(sender, []).append(payload)
+        return Inbox(by_sender)
+
+
+_EMPTY_INBOX = Inbox()
+
+
+@dataclass
+class InboxBuilder:
+    """Mutable accumulator used by the network while routing envelopes."""
+
+    _pairs: dict[NodeId, list[tuple[NodeId, Payload]]] = field(default_factory=dict)
+
+    def add(self, dest: NodeId, sender: NodeId, payload: Payload) -> None:
+        self._pairs.setdefault(dest, []).append((sender, payload))
+
+    def build(self, dest: NodeId) -> Inbox:
+        pairs = self._pairs.get(dest)
+        if not pairs:
+            return Inbox.empty()
+        return Inbox.from_pairs(pairs)
+
+    def destinations(self) -> frozenset[NodeId]:
+        return frozenset(self._pairs)

@@ -1,0 +1,135 @@
+"""Run-time metrics collected by the simulator.
+
+The harness uses these counters to report the quantities the paper's
+discussion section talks about (message complexity, round complexity) and
+to compare the id-only algorithms against the known-(n, f) baselines in
+experiment E9.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from .messages import NodeId
+
+__all__ = ["RoundMetrics", "RunMetrics", "DecisionRecord"]
+
+
+@dataclass
+class RoundMetrics:
+    """Counters for a single simulated round."""
+
+    round_index: int
+    messages_sent: int = 0
+    broadcasts: int = 0
+    unicasts: int = 0
+    messages_delivered: int = 0
+    active_nodes: int = 0
+    byzantine_nodes: int = 0
+    halted_nodes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "round": self.round_index,
+            "messages_sent": self.messages_sent,
+            "broadcasts": self.broadcasts,
+            "unicasts": self.unicasts,
+            "messages_delivered": self.messages_delivered,
+            "active_nodes": self.active_nodes,
+            "byzantine_nodes": self.byzantine_nodes,
+            "halted_nodes": self.halted_nodes,
+        }
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """When and what a node decided."""
+
+    node_id: NodeId
+    round_index: int
+    value: Any
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated counters for a whole simulation run."""
+
+    rounds: list[RoundMetrics] = field(default_factory=list)
+    per_node_sent: Counter = field(default_factory=Counter)
+    per_node_delivered: Counter = field(default_factory=Counter)
+    decisions: list[DecisionRecord] = field(default_factory=list)
+
+    # -- recording -----------------------------------------------------------
+
+    def start_round(self, round_index: int) -> RoundMetrics:
+        metrics = RoundMetrics(round_index=round_index)
+        self.rounds.append(metrics)
+        return metrics
+
+    def record_send(self, node_id: NodeId, fanout: int, broadcast: bool) -> None:
+        if not self.rounds:
+            return
+        current = self.rounds[-1]
+        current.messages_sent += fanout
+        if broadcast:
+            current.broadcasts += 1
+        else:
+            current.unicasts += 1
+        self.per_node_sent[node_id] += fanout
+
+    def record_delivery(self, node_id: NodeId, count: int) -> None:
+        if not self.rounds:
+            return
+        self.rounds[-1].messages_delivered += count
+        self.per_node_delivered[node_id] += count
+
+    def record_decision(self, node_id: NodeId, round_index: int, value: Any) -> None:
+        self.decisions.append(DecisionRecord(node_id, round_index, value))
+
+    # -- summaries -------------------------------------------------------------
+
+    @property
+    def total_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.messages_sent for r in self.rounds)
+
+    @property
+    def total_broadcasts(self) -> int:
+        return sum(r.broadcasts for r in self.rounds)
+
+    def messages_per_round(self) -> list[int]:
+        return [r.messages_sent for r in self.rounds]
+
+    def decision_round(self, node_id: NodeId) -> int | None:
+        """The round in which ``node_id`` first decided, or ``None``."""
+
+        for record in self.decisions:
+            if record.node_id == node_id:
+                return record.round_index
+        return None
+
+    def decision_rounds(self) -> dict[NodeId, int]:
+        """First decision round per node."""
+
+        result: dict[NodeId, int] = {}
+        for record in self.decisions:
+            result.setdefault(record.node_id, record.round_index)
+        return result
+
+    def latest_decision_round(self) -> int | None:
+        rounds = self.decision_rounds()
+        return max(rounds.values()) if rounds else None
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "rounds": self.total_rounds,
+            "messages": self.total_messages,
+            "broadcasts": self.total_broadcasts,
+            "decisions": len(self.decision_rounds()),
+            "last_decision_round": self.latest_decision_round(),
+        }

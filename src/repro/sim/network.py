@@ -1,0 +1,436 @@
+"""The synchronous round-based network engine.
+
+This module implements the system model of Section IV of the paper (the
+*id-only model*):
+
+* ``n`` nodes with unique, not necessarily consecutive identifiers;
+* computation proceeds in lock-step rounds — messages sent in round ``r``
+  are consumed in round ``r + 1`` (other delay models are available for the
+  Section IX impossibility experiments);
+* a node can broadcast to everyone or reply to a node it has heard from;
+* sender identifiers on the wire are truthful (no spoofing on the direct
+  channel), but Byzantine nodes may put arbitrary claims inside payloads;
+* duplicate messages from the same node within a round are discarded.
+
+The engine is intentionally single-threaded and deterministic: given the
+same processes, adversary strategies, delay model and seed, a run produces
+exactly the same trace.  Determinism is what lets the experiment harness
+treat every (configuration, seed) pair as a reproducible data point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .delays import DelayModel, SynchronousDelay
+from .errors import (
+    DuplicateNodeError,
+    HaltedProcessError,
+    InvalidOutgoingError,
+    MembershipError,
+    RoundLimitExceeded,
+)
+from .events import EventKind, Trace, TraceEvent
+from .messages import Broadcast, Envelope, Inbox, InboxBuilder, NodeId, Outgoing, Unicast
+from .metrics import RunMetrics
+from .node import Process, RoundView
+from .rng import make_rng
+
+__all__ = ["SystemView", "RunResult", "SynchronousNetwork", "all_correct_decided", "all_correct_halted"]
+
+
+@dataclass(frozen=True)
+class SystemView:
+    """A global, omniscient snapshot offered to adversary strategies.
+
+    Correct processes never see this — they only get a :class:`RoundView`.
+    Byzantine strategies may use it to adapt (e.g. to target the node whose
+    candidate set is smallest), modelling a worst-case adversary.
+    """
+
+    round_index: int
+    active_ids: frozenset[NodeId]
+    byzantine_ids: frozenset[NodeId]
+    correct_processes: Mapping[NodeId, Process]
+    rng: np.random.Generator
+
+    @property
+    def correct_ids(self) -> frozenset[NodeId]:
+        return self.active_ids - self.byzantine_ids
+
+    @property
+    def n(self) -> int:
+        return len(self.active_ids)
+
+    @property
+    def f(self) -> int:
+        return len(self.byzantine_ids & self.active_ids)
+
+
+@dataclass
+class RunResult:
+    """Everything a finished (or stopped) simulation exposes."""
+
+    processes: dict[NodeId, Process]
+    metrics: RunMetrics
+    trace: Trace
+    rounds_executed: int
+    stop_reason: str
+
+    # -- convenience accessors -------------------------------------------------
+
+    def process(self, node_id: NodeId) -> Process:
+        return self.processes[node_id]
+
+    @property
+    def correct_processes(self) -> dict[NodeId, Process]:
+        return {i: p for i, p in self.processes.items() if not p.is_byzantine}
+
+    @property
+    def byzantine_processes(self) -> dict[NodeId, Process]:
+        return {i: p for i, p in self.processes.items() if p.is_byzantine}
+
+    def outputs(self, correct_only: bool = True) -> dict[NodeId, Any]:
+        """Decision values per node (``None`` for undecided nodes)."""
+
+        source = self.correct_processes if correct_only else self.processes
+        return {i: p.output for i, p in source.items()}
+
+    def decided_outputs(self) -> dict[NodeId, Any]:
+        """Decision values of correct nodes that actually decided."""
+
+        return {i: p.output for i, p in self.correct_processes.items() if p.decided}
+
+    def agreement_reached(self) -> bool:
+        """True when every correct node decided and on the same value."""
+
+        outputs = [p.output for p in self.correct_processes.values()]
+        if not outputs or any(p is None for p in outputs):
+            return False
+        first = outputs[0]
+        return all(value == first for value in outputs)
+
+    def distinct_decisions(self) -> set[Any]:
+        return {p.output for p in self.correct_processes.values() if p.decided}
+
+
+def all_correct_decided(network: "SynchronousNetwork") -> bool:
+    """Stop condition: every correct process (halted or not) has decided."""
+
+    procs = network.correct_processes()
+    return bool(procs) and all(p.decided for p in procs)
+
+
+def all_correct_halted(network: "SynchronousNetwork") -> bool:
+    """Stop condition: every active correct process has halted."""
+
+    procs = network.correct_processes()
+    return bool(procs) and all(p.halted for p in procs)
+
+
+class SynchronousNetwork:
+    """Drives a set of processes round by round.
+
+    Parameters
+    ----------
+    processes:
+        The initial participants.  Byzantine participants are ordinary
+        :class:`Process` objects whose ``is_byzantine`` is ``True`` (see
+        :class:`repro.adversary.base.ByzantineProcess`).
+    delay_model:
+        Maps each message to its delivery round; defaults to the
+        synchronous next-round model.
+    seed:
+        Seed for the network-level RNG (delays, adversary randomness).
+    trace:
+        When ``True`` a full :class:`~repro.sim.events.Trace` is recorded.
+    joins:
+        Optional mapping ``round -> iterable of processes`` activated at the
+        *start* of that round (they may send from that round onwards).
+    leaves:
+        Optional mapping ``round -> iterable of node ids`` removed at the
+        start of that round.  Used by churn schedules; protocol-level
+        "absent" announcements are the protocol's own business.
+    """
+
+    def __init__(
+        self,
+        processes: Iterable[Process],
+        *,
+        delay_model: DelayModel | None = None,
+        seed: int = 0,
+        trace: bool = False,
+        joins: Mapping[int, Iterable[Process]] | None = None,
+        leaves: Mapping[int, Iterable[NodeId]] | None = None,
+    ) -> None:
+        self._processes: dict[NodeId, Process] = {}
+        for process in processes:
+            self._register(process)
+        self._active: set[NodeId] = set(self._processes)
+        self._delay_model = delay_model or SynchronousDelay()
+        self._rng = make_rng(seed)
+        self._trace = Trace(enabled=trace)
+        self._metrics = RunMetrics()
+        self._pending: list[Envelope] = []
+        self._round = 0
+        self._decided_seen: set[NodeId] = set()
+        self._joins: dict[int, list[Process]] = {
+            int(r): list(ps) for r, ps in (joins or {}).items()
+        }
+        self._leaves: dict[int, list[NodeId]] = {
+            int(r): list(ids) for r, ids in (leaves or {}).items()
+        }
+
+    # -- registration / membership ----------------------------------------------
+
+    def _register(self, process: Process) -> None:
+        if process.node_id in self._processes:
+            raise DuplicateNodeError(process.node_id)
+        self._processes[process.node_id] = process
+
+    def add_process(self, process: Process, *, at_round: int | None = None) -> None:
+        """Add a participant, immediately or at the start of ``at_round``."""
+
+        if at_round is None or at_round <= self._round:
+            self._register(process)
+            self._active.add(process.node_id)
+        else:
+            self._joins.setdefault(at_round, []).append(process)
+
+    def remove_process(self, node_id: NodeId, *, at_round: int | None = None) -> None:
+        """Remove a participant, immediately or at the start of ``at_round``."""
+
+        if at_round is None or at_round <= self._round:
+            if node_id not in self._processes:
+                raise MembershipError(f"cannot remove unknown node {node_id}")
+            self._active.discard(node_id)
+        else:
+            self._leaves.setdefault(at_round, []).append(node_id)
+
+    def _apply_membership_changes(self, round_index: int) -> None:
+        for process in self._joins.pop(round_index, []):
+            if process.node_id in self._processes:
+                raise MembershipError(
+                    f"node {process.node_id} joined twice (round {round_index})"
+                )
+            self._register(process)
+            self._active.add(process.node_id)
+            self._trace.record(
+                TraceEvent(EventKind.NODE_JOINED, round_index, node_id=process.node_id)
+            )
+        for node_id in self._leaves.pop(round_index, []):
+            if node_id not in self._processes:
+                raise MembershipError(
+                    f"node {node_id} left without ever joining (round {round_index})"
+                )
+            self._active.discard(node_id)
+            self._trace.record(
+                TraceEvent(EventKind.NODE_LEFT, round_index, node_id=node_id)
+            )
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def current_round(self) -> int:
+        return self._round
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    @property
+    def metrics(self) -> RunMetrics:
+        return self._metrics
+
+    @property
+    def trace(self) -> Trace:
+        return self._trace
+
+    def processes(self) -> dict[NodeId, Process]:
+        return dict(self._processes)
+
+    def process(self, node_id: NodeId) -> Process:
+        return self._processes[node_id]
+
+    def active_ids(self) -> frozenset[NodeId]:
+        return frozenset(self._active)
+
+    def byzantine_ids(self) -> frozenset[NodeId]:
+        return frozenset(
+            i for i in self._active if self._processes[i].is_byzantine
+        )
+
+    def correct_processes(self) -> list[Process]:
+        return [
+            self._processes[i]
+            for i in sorted(self._active)
+            if not self._processes[i].is_byzantine
+        ]
+
+    def active_correct_processes(self) -> list[Process]:
+        return [p for p in self.correct_processes() if not p.halted]
+
+    # -- the round loop --------------------------------------------------------------
+
+    def step_round(self) -> None:
+        """Execute exactly one round."""
+
+        self._round += 1
+        round_index = self._round
+        self._apply_membership_changes(round_index)
+        round_metrics = self._metrics.start_round(round_index)
+        self._trace.record(TraceEvent(EventKind.ROUND_START, round_index))
+
+        # 1. Deliver messages scheduled for this round.
+        builder = InboxBuilder()
+        still_pending: list[Envelope] = []
+        for envelope in self._pending:
+            if envelope.deliver_round > round_index:
+                still_pending.append(envelope)
+                continue
+            if envelope.dest not in self._active:
+                continue  # the destination left before delivery
+            builder.add(envelope.dest, envelope.sender, envelope.payload)
+            self._trace.record(
+                TraceEvent(
+                    EventKind.MESSAGE_DELIVERED,
+                    round_index,
+                    node_id=envelope.dest,
+                    peer_id=envelope.sender,
+                    payload=envelope.payload,
+                )
+            )
+        self._pending = still_pending
+
+        # 2. Step every active process.
+        active_ids = frozenset(self._active)
+        byzantine_ids = self.byzantine_ids()
+        round_metrics.active_nodes = len(active_ids)
+        round_metrics.byzantine_nodes = len(byzantine_ids)
+        system_view = SystemView(
+            round_index=round_index,
+            active_ids=active_ids,
+            byzantine_ids=byzantine_ids,
+            correct_processes={
+                i: p for i, p in self._processes.items() if not p.is_byzantine
+            },
+            rng=self._rng,
+        )
+
+        outgoing_by_node: dict[NodeId, Sequence[Outgoing]] = {}
+        for node_id in sorted(self._active):
+            process = self._processes[node_id]
+            if process.halted:
+                round_metrics.halted_nodes += 1
+                continue
+            inbox = builder.build(node_id)
+            self._metrics.record_delivery(node_id, len(inbox))
+            if process.is_byzantine and hasattr(process, "observe_system"):
+                process.observe_system(system_view)
+            view = RoundView(round_index=round_index, inbox=inbox)
+            outgoing = process.step(view)
+            if outgoing:
+                if process.halted and not process.is_byzantine:
+                    # A correct process may decide and halt in the same
+                    # round it sends its final messages; that is fine.  What
+                    # is not fine is a process that was already halted
+                    # before the round — those are filtered above — so any
+                    # remaining messages are legitimate.
+                    pass
+                outgoing_by_node[node_id] = outgoing
+            self._record_decision(process, round_index)
+            if process.halted:
+                self._trace.record(
+                    TraceEvent(EventKind.NODE_HALTED, round_index, node_id=node_id)
+                )
+
+        # 3. Schedule the outgoing messages.
+        for node_id, actions in outgoing_by_node.items():
+            for action in actions:
+                self._schedule(node_id, action, round_index)
+
+    def _record_decision(self, process: Process, round_index: int) -> None:
+        if process.is_byzantine or process.node_id in self._decided_seen:
+            return
+        if process.decided:
+            self._decided_seen.add(process.node_id)
+            self._metrics.record_decision(process.node_id, round_index, process.output)
+            self._trace.record(
+                TraceEvent(
+                    EventKind.NODE_DECIDED,
+                    round_index,
+                    node_id=process.node_id,
+                    detail=process.output,
+                )
+            )
+
+    def _schedule(self, sender: NodeId, action: Outgoing, round_index: int) -> None:
+        if isinstance(action, Broadcast):
+            destinations = sorted(self._active)
+            self._metrics.record_send(sender, len(destinations), broadcast=True)
+            for dest in destinations:
+                self._enqueue(sender, dest, action.payload, round_index)
+        elif isinstance(action, Unicast):
+            self._metrics.record_send(sender, 1, broadcast=False)
+            self._enqueue(sender, action.dest, action.payload, round_index)
+        else:
+            raise InvalidOutgoingError(sender, action)
+
+    def _enqueue(
+        self, sender: NodeId, dest: NodeId, payload: Any, round_index: int
+    ) -> None:
+        deliver = self._delay_model.delivery_round(sender, dest, round_index, self._rng)
+        self._pending.append(
+            Envelope(
+                sender=sender,
+                dest=dest,
+                payload=payload,
+                sent_round=round_index,
+                deliver_round=deliver,
+            )
+        )
+        self._trace.record(
+            TraceEvent(
+                EventKind.MESSAGE_SENT,
+                round_index,
+                node_id=sender,
+                peer_id=dest,
+                payload=payload,
+            )
+        )
+
+    # -- running to completion -------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        max_rounds: int = 1000,
+        stop_when: Callable[["SynchronousNetwork"], bool] | None = None,
+        raise_on_limit: bool = False,
+    ) -> RunResult:
+        """Run until ``stop_when`` is satisfied or ``max_rounds`` elapse.
+
+        The default stop condition is "every active correct process has
+        decided", which is what the single-shot agreement experiments use.
+        """
+
+        condition = stop_when or all_correct_decided
+        stop_reason = "round_limit"
+        for _ in range(max_rounds):
+            self.step_round()
+            if condition(self):
+                stop_reason = "stop_condition"
+                break
+        result = RunResult(
+            processes=dict(self._processes),
+            metrics=self._metrics,
+            trace=self._trace,
+            rounds_executed=self._round,
+            stop_reason=stop_reason,
+        )
+        if stop_reason == "round_limit" and raise_on_limit:
+            raise RoundLimitExceeded(max_rounds, result)
+        return result

@@ -1,0 +1,172 @@
+"""Process abstractions for the synchronous round-based simulator.
+
+A *process* is the unit of computation the network drives: once per round
+it receives an :class:`~repro.sim.messages.Inbox` (the messages sent to it
+in the previous round) and returns the messages it wants to send in this
+round.  Protocol implementations in :mod:`repro.core` and the baselines in
+:mod:`repro.baselines` subclass :class:`Process`; Byzantine nodes are
+represented by :class:`repro.adversary.base.ByzantineProcess`, which
+delegates to an adversary strategy.
+
+Design notes
+------------
+* Processes are *pure state machines*: ``step`` receives an immutable
+  :class:`RoundView` and returns a list of outgoing actions.  They never
+  touch the network directly, which makes protocol composition (e.g. the
+  rotor-coordinator embedded inside the consensus algorithm) and unit
+  testing trivial — a test can drive a process with hand-crafted inboxes.
+* Decision values are exposed through ``output``/``decided`` so the harness
+  can collect results uniformly across protocols.
+* ``halted`` processes stop being scheduled; the paper's reliable broadcast
+  intentionally never halts on its own (it is a subroutine), so halting is
+  always an explicit protocol decision.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from .messages import Inbox, NodeId, Outgoing
+
+__all__ = ["RoundView", "Process", "KnownSenders", "NullProcess"]
+
+
+@dataclass(frozen=True)
+class RoundView:
+    """Everything a process is allowed to observe in one round.
+
+    ``round_index`` is the 1-based global round number.  The id-only model
+    gives nodes no other global information: no ``n``, no ``f``, no
+    membership list — only their own identifier and whatever arrived in the
+    inbox.
+    """
+
+    round_index: int
+    inbox: Inbox
+
+
+class Process(abc.ABC):
+    """Base class for every (correct) protocol participant."""
+
+    def __init__(self, node_id: NodeId) -> None:
+        self._node_id = node_id
+        self._halted = False
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    @property
+    def is_byzantine(self) -> bool:
+        """Correct processes report ``False``; adversary wrappers override."""
+
+        return False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def halted(self) -> bool:
+        """True when the process asked to stop being scheduled."""
+
+        return self._halted
+
+    def halt(self) -> None:
+        """Mark the process as finished; the network stops stepping it."""
+
+        self._halted = True
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def decided(self) -> bool:
+        """True when the process has produced its (first) output."""
+
+        return self.output is not None
+
+    @property
+    def output(self) -> Any:
+        """The protocol output, or ``None`` when not yet decided."""
+
+        return None
+
+    # -- the actual state machine -------------------------------------------
+
+    @abc.abstractmethod
+    def step(self, view: RoundView) -> Sequence[Outgoing]:
+        """Consume one round of messages, return the messages to send."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "halted" if self.halted else "running"
+        return f"{type(self).__name__}(id={self.node_id}, {status})"
+
+
+class NullProcess(Process):
+    """A correct process that participates in no protocol.
+
+    Useful as a placeholder in membership experiments and as the simplest
+    possible :class:`Process` for simulator unit tests.
+    """
+
+    def step(self, view: RoundView) -> Sequence[Outgoing]:  # noqa: ARG002
+        return ()
+
+
+class KnownSenders:
+    """Tracks ``nv`` — the nodes that have sent at least one message so far.
+
+    Every algorithm in the paper replaces the unknown ``n`` with ``nv``, the
+    number of *distinct* nodes from which the local node has received at
+    least one message up to the current round (Algorithm 1, line 10;
+    Algorithm 2, line 7).  This helper centralises that bookkeeping so the
+    protocol code reads like the pseudocode.
+    """
+
+    __slots__ = ("_ids", "_frozen")
+
+    def __init__(self) -> None:
+        self._ids: set[NodeId] = set()
+        self._frozen = False
+
+    def observe(self, inbox: Inbox) -> None:
+        """Record every sender in ``inbox``.
+
+        After :meth:`freeze` the membership no longer grows; Algorithms 3
+        and 5 freeze ``nv`` after their two initialization rounds and
+        discard messages from unknown senders afterwards.
+        """
+
+        if not self._frozen:
+            self._ids.update(inbox.senders)
+
+    def freeze(self) -> None:
+        """Stop growing the set (used after the init rounds of Alg. 3/5)."""
+
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def count(self) -> int:
+        """The value ``nv`` used in the relative quorum thresholds."""
+
+        return len(self._ids)
+
+    @property
+    def ids(self) -> frozenset[NodeId]:
+        return frozenset(self._ids)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "frozen" if self._frozen else "open"
+        return f"KnownSenders(n={len(self._ids)}, {state})"

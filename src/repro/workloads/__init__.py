@@ -1,0 +1,27 @@
+"""Workload construction: identifiers, inputs, adversary placement, systems."""
+
+from .generators import (
+    SystemSpec,
+    approximate_agreement_system,
+    binary_inputs,
+    build_network,
+    consensus_system,
+    real_inputs,
+    reliable_broadcast_system,
+    rotor_coordinator_system,
+    sparse_ids,
+    split_correct_byzantine,
+)
+
+__all__ = [
+    "SystemSpec",
+    "approximate_agreement_system",
+    "binary_inputs",
+    "build_network",
+    "consensus_system",
+    "real_inputs",
+    "reliable_broadcast_system",
+    "rotor_coordinator_system",
+    "sparse_ids",
+    "split_correct_byzantine",
+]

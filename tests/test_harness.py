@@ -1,0 +1,70 @@
+"""Tests for the experiment harness (E1–E10 definitions and the runner)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.harness import (
+    EXPERIMENTS,
+    ExperimentResult,
+    all_experiment_ids,
+    run_experiment,
+    run_many,
+    write_markdown_report,
+)
+
+
+class TestRegistry:
+    def test_all_ten_experiments_are_registered(self):
+        assert all_experiment_ids() == [f"E{i}" for i in range(1, 11)]
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+
+class TestExperimentResult:
+    def test_rendering(self):
+        result = ExperimentResult(
+            experiment_id="EX",
+            title="demo",
+            claim="claims",
+            rows=[{"n": 4, "ok": True}],
+            notes="a note",
+        )
+        text = result.to_text()
+        assert "[EX] demo" in text and "claims" in text and "a note" in text
+        md = result.to_markdown()
+        assert md.startswith("### EX — demo")
+        assert "| n | ok |" in md
+
+
+class TestSmallScaleRuns:
+    """Run the cheap experiments end to end at scale 1 and sanity-check the
+    headline numbers (the full sweeps are exercised by the benchmarks)."""
+
+    def test_e5_resiliency_boundary_rows_cover_both_sides(self):
+        result = run_experiment("E5")
+        resilient = [r for r in result.rows if r["resilient_config"]]
+        broken = [r for r in result.rows if not r["resilient_config"]]
+        assert resilient and broken
+        # Inside the bound the agreement rate must be 1.0.
+        assert all(r["agreement"] == 1.0 for r in resilient)
+
+    def test_e6_synchrony_necessity_shape(self):
+        result = run_experiment("E6")
+        by_model = {r["model"]: r for r in result.rows}
+        assert by_model["asynchronous"]["disagreement"] == 1.0
+        assert by_model["semi-synchronous"]["disagreement"] == 1.0
+        assert by_model["synchronous-control"]["agreement"] == 1.0
+
+    def test_runner_prints_and_reports(self, tmp_path):
+        stream = io.StringIO()
+        results = run_many(["E6"], scale=1, stream=stream)
+        assert len(results) == 1
+        assert "[E6]" in stream.getvalue()
+        report = tmp_path / "report.md"
+        write_markdown_report(results, str(report))
+        assert report.read_text().startswith("# Reproduction results")

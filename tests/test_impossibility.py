@@ -1,0 +1,53 @@
+"""Tests for the Section IX constructions (synchrony is necessary)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.impossibility import (
+    asynchronous_partition_execution,
+    semi_synchronous_partition_execution,
+    synchronous_control_execution,
+)
+
+
+class TestLemma14Asynchronous:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_partitioned_groups_decide_different_values(self, seed):
+        outcome = asynchronous_partition_execution(4, 4, seed=seed)
+        assert outcome.all_decided, "each partition must decide on its own"
+        assert outcome.disagreement, "Lemma 14 predicts disagreement"
+        assert set(outcome.decisions_a) == {1}
+        assert set(outcome.decisions_b) == {0}
+
+    def test_partition_sizes_are_respected(self):
+        outcome = asynchronous_partition_execution(3, 5, seed=7)
+        assert len(outcome.group_a) == 3
+        assert len(outcome.group_b) == 5
+
+
+class TestLemma15SemiSynchronous:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bounded_but_unknown_delay_still_disagrees(self, seed):
+        outcome = semi_synchronous_partition_execution(4, 4, delta=40, seed=seed)
+        assert outcome.all_decided
+        assert outcome.disagreement
+
+    def test_small_delta_restores_agreement(self):
+        # When the cross-group delay bound is within the algorithm's decision
+        # time the groups hear each other and the construction collapses.
+        outcome = semi_synchronous_partition_execution(4, 4, delta=1, seed=3)
+        assert outcome.agreement
+
+
+class TestSynchronousControl:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_synchrony_restores_agreement(self, seed):
+        outcome = synchronous_control_execution(4, 4, seed=seed)
+        assert outcome.agreement, "the synchronous control must reach agreement"
+
+    def test_outcome_helpers(self):
+        outcome = synchronous_control_execution(4, 4, seed=5)
+        assert outcome.all_decided
+        assert not outcome.disagreement
+        assert outcome.delay_model == "SynchronousDelay"

@@ -1,0 +1,115 @@
+"""Unit and property-based tests for the relative-quorum arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.quorums import (
+    best_supported_value,
+    is_resilient,
+    max_faults_tolerated,
+    meets_one_third,
+    meets_two_thirds,
+    one_third,
+    two_thirds,
+    values_meeting,
+)
+
+
+class TestThresholds:
+    def test_exact_fractions(self):
+        assert one_third(9) == 3.0
+        assert two_thirds(9) == 6.0
+        assert one_third(10) == pytest.approx(10 / 3)
+
+    def test_negative_nv_rejected(self):
+        with pytest.raises(ValueError):
+            one_third(-1)
+        with pytest.raises(ValueError):
+            two_thirds(-1)
+
+    def test_zero_count_never_meets_a_threshold(self):
+        assert not meets_one_third(0, 0)
+        assert not meets_two_thirds(0, 0)
+        assert not meets_one_third(0, 9)
+
+    def test_boundary_counts(self):
+        # "at least nv/3" is not floored: for nv = 10 a count of 4 is needed
+        # to meet 10/3 ≈ 3.33, and 3 is not enough... 3 < 3.33.
+        assert not meets_one_third(3, 10)
+        assert meets_one_third(4, 10)
+        assert meets_two_thirds(7, 10)
+        assert not meets_two_thirds(6, 10)
+
+    def test_exact_thirds_meet(self):
+        assert meets_one_third(3, 9)
+        assert meets_two_thirds(6, 9)
+
+    @given(st.integers(0, 500), st.integers(0, 500))
+    def test_property_two_thirds_implies_one_third(self, count, nv):
+        if meets_two_thirds(count, nv):
+            assert meets_one_third(count, nv)
+
+    @given(st.integers(1, 500))
+    def test_property_full_count_always_meets_both(self, nv):
+        assert meets_one_third(nv, nv)
+        assert meets_two_thirds(nv, nv)
+
+
+class TestValueSelection:
+    def test_values_meeting_sorted(self):
+        support = {"b": 7, "a": 7, "c": 1}
+        assert values_meeting(support, 9) == ["a", "b"]
+
+    def test_values_meeting_accepts_collections(self):
+        support = {"a": {1, 2, 3, 4, 5, 6}, "b": {7}}
+        assert values_meeting(support, 9) == ["a"]
+
+    def test_best_supported_value_picks_highest_count(self):
+        assert best_supported_value({"x": 8, "y": 6}, 9) == "x"
+
+    def test_best_supported_value_none_when_no_quorum(self):
+        assert best_supported_value({"x": 2}, 9) is None
+
+    def test_best_supported_value_tie_break_is_deterministic(self):
+        assert best_supported_value({"b": 7, "a": 7}, 9) == "a"
+
+    def test_one_third_fraction_selection(self):
+        assert best_supported_value({"x": 3}, 9, fraction="one_third") == "x"
+        assert best_supported_value({"x": 2}, 9, fraction="one_third") is None
+
+
+class TestResiliency:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 0), (3, 0), (4, 1), (6, 1), (7, 2), (10, 3), (13, 4), (100, 33)],
+    )
+    def test_max_faults_tolerated(self, n, expected):
+        assert max_faults_tolerated(n) == expected
+
+    def test_is_resilient_matches_bound(self):
+        assert is_resilient(4, 1)
+        assert not is_resilient(3, 1)
+        assert not is_resilient(9, 3)
+
+    @given(st.integers(1, 300))
+    def test_property_max_faults_is_the_largest_resilient_f(self, n):
+        f = max_faults_tolerated(n)
+        assert is_resilient(n, f)
+        assert not is_resilient(n, f + 1)
+
+
+class TestKeyObservation:
+    """Section III's observation: if all g correct nodes broadcast, a correct
+    node receives fewer than nv/3 Byzantine messages, whatever the Byzantine
+    nodes do."""
+
+    @given(st.integers(1, 200), st.integers(0, 66))
+    def test_byzantine_share_is_below_one_third(self, g, f):
+        # Constrain to the paper's assumption n > 3f with n = g + f.
+        if g + f <= 3 * f:
+            return
+        for byz_known in range(f + 1):
+            nv = g + byz_known
+            assert not meets_one_third(byz_known, nv) or byz_known == 0

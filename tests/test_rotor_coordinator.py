@@ -1,0 +1,138 @@
+"""Tests for Algorithm 2 — the rotor-coordinator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import rotor_good_round_exists
+from repro.core.quorums import max_faults_tolerated
+from repro.core.rotor_coordinator import (
+    Opinion,
+    RotorCoordinatorCore,
+    RotorEcho,
+    RotorInit,
+)
+from repro.sim import Inbox, all_correct_halted
+from repro.workloads import rotor_coordinator_system
+
+
+def inbox(pairs):
+    return Inbox.from_pairs(pairs)
+
+
+class TestCore:
+    def test_init_rounds(self):
+        core = RotorCoordinatorCore(1)
+        assert core.init_round_one() == [RotorInit()]
+        echoes = core.init_round_two(inbox([(2, RotorInit()), (3, RotorInit()), (3, "junk")]))
+        assert echoes == [RotorEcho(2), RotorEcho(3)]
+
+    def test_candidate_added_on_two_thirds_quorum(self):
+        core = RotorCoordinatorCore(1)
+        core.init_round_two(inbox([(i, RotorInit()) for i in (1, 2, 3, 4, 5, 6)]))
+        relays = core.observe(inbox([(i, RotorEcho(2)) for i in (1, 2, 3, 4)]))
+        assert core.candidates == (2,)
+        # In the round where the quorum is reached the echo is still relayed
+        # (the ``p ∉ Cv`` guard is evaluated before ``p`` joins ``Cv``) …
+        assert RotorEcho(2) in relays
+        # … but once 2 is a candidate, further echoes for it are not relayed.
+        later = core.observe(inbox([(i, RotorEcho(2)) for i in (1, 2, 3, 4)]))
+        assert RotorEcho(2) not in later
+
+    def test_relay_on_one_third_quorum_without_adding(self):
+        core = RotorCoordinatorCore(1)
+        core.init_round_two(inbox([(i, RotorInit()) for i in range(1, 10)]))  # nv = 9
+        relays = core.observe(inbox([(i, RotorEcho(7)) for i in (1, 2, 3)]))
+        assert RotorEcho(7) in relays
+        assert core.candidates == ()
+
+    def test_candidates_kept_sorted_by_identifier(self):
+        core = RotorCoordinatorCore(1)
+        core.init_round_two(inbox([(i, RotorInit()) for i in (1, 2, 3)]))
+        core.observe(inbox([(i, RotorEcho(30)) for i in (1, 2, 3)]))
+        core.observe(inbox([(i, RotorEcho(10)) for i in (1, 2, 3)]))
+        assert core.candidates == (10, 30)
+
+    def test_selection_rotates_in_identifier_order(self):
+        core = RotorCoordinatorCore(1)
+        core.init_round_two(inbox([(i, RotorInit()) for i in (1, 2, 3)]))
+        core.observe(inbox([(i, RotorEcho(c)) for i in (1, 2, 3) for c in (5, 9)]))
+        first = core.execute_selection(Inbox.empty(), "op", round_index=3)
+        second = core.execute_selection(Inbox.empty(), "op", round_index=4)
+        assert (first.selected, second.selected) == (5, 9)
+        assert core.selected == {5, 9}
+
+    def test_reselection_terminates(self):
+        core = RotorCoordinatorCore(1)
+        core.init_round_two(inbox([(i, RotorInit()) for i in (1, 2, 3)]))
+        core.observe(inbox([(i, RotorEcho(5)) for i in (1, 2, 3)]))
+        core.execute_selection(Inbox.empty(), "op", round_index=3)
+        outcome = core.execute_selection(Inbox.empty(), "op", round_index=4)
+        assert outcome.terminated
+        assert core.terminated
+
+    def test_self_selection_broadcasts_opinion(self):
+        core = RotorCoordinatorCore(5)
+        core.init_round_two(inbox([(i, RotorInit()) for i in (1, 2, 3)]))
+        core.observe(inbox([(i, RotorEcho(5)) for i in (1, 2, 3)]))
+        outcome = core.execute_selection(Inbox.empty(), "mine", round_index=3)
+        assert outcome.selected == 5
+        assert Opinion("mine") in outcome.payloads
+
+    def test_opinion_accepted_from_previous_coordinator_only(self):
+        core = RotorCoordinatorCore(1)
+        core.init_round_two(inbox([(i, RotorInit()) for i in (1, 2, 3)]))
+        core.observe(inbox([(i, RotorEcho(c)) for i in (1, 2, 3) for c in (5, 9)]))
+        core.execute_selection(Inbox.empty(), "op", round_index=3)  # selects 5
+        outcome = core.execute_selection(
+            inbox([(5, Opinion("from5")), (9, Opinion("from9"))]), "op", round_index=4
+        )
+        assert outcome.accepted_opinion == "from5"
+        assert outcome.opinion_received
+
+    def test_empty_candidate_set_selects_nothing(self):
+        core = RotorCoordinatorCore(1)
+        outcome = core.execute_selection(Inbox.empty(), "op", round_index=3)
+        assert outcome.selected is None
+        assert not outcome.terminated
+
+
+class TestSystem:
+    @pytest.mark.parametrize("n", [4, 7, 10])
+    @pytest.mark.parametrize(
+        "strategy", ["silent", "rotor-candidate-stuffer", "rotor-split-echo", "rotor-usurper"]
+    )
+    def test_termination_and_good_round(self, n, strategy):
+        f = max_faults_tolerated(n)
+        spec = rotor_coordinator_system(n, f, strategy=strategy, seed=n * 31 + len(strategy))
+        run = spec.network.run(max_rounds=6 * n + 20, stop_when=all_correct_halted)
+        assert run.stop_reason == "stop_condition", "every correct node must terminate"
+        procs = [spec.network.process(i) for i in spec.correct_ids]
+        assert rotor_good_round_exists(procs, spec.correct_ids)
+
+    def test_termination_is_linear_in_n(self):
+        rounds = {}
+        for n in (4, 10, 16):
+            f = max_faults_tolerated(n)
+            spec = rotor_coordinator_system(n, f, strategy="rotor-candidate-stuffer", seed=5)
+            run = spec.network.run(max_rounds=10 * n, stop_when=all_correct_halted)
+            rounds[n] = run.rounds_executed
+        # Theorem 2: O(n) rounds.  Allow a generous constant.
+        for n, executed in rounds.items():
+            assert executed <= 3 * n + 6
+
+    def test_all_correct_nodes_select_same_sequence_without_adversary(self):
+        spec = rotor_coordinator_system(7, 0, strategy=None, seed=9)
+        spec.network.run(max_rounds=60, stop_when=all_correct_halted)
+        histories = [
+            tuple(rec.coordinator for rec in spec.network.process(i).selection_history)
+            for i in spec.correct_ids
+        ]
+        assert len(set(histories)) == 1
+
+    def test_candidate_stuffer_cannot_prevent_correct_candidates(self):
+        spec = rotor_coordinator_system(10, 3, strategy="rotor-candidate-stuffer", seed=11)
+        spec.network.run(max_rounds=80, stop_when=all_correct_halted)
+        for i in spec.correct_ids:
+            candidates = set(spec.network.process(i).core.candidates)
+            assert set(spec.correct_ids) <= candidates

@@ -1,0 +1,99 @@
+"""Unit tests for the message model (Inbox, Envelope, outgoing actions)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Broadcast, Envelope, Inbox, Unicast
+
+
+class TestInbox:
+    def test_empty_inbox(self):
+        inbox = Inbox.empty()
+        assert len(inbox) == 0
+        assert not inbox
+        assert inbox.senders == frozenset()
+        assert inbox.payloads_from(1) == ()
+
+    def test_groups_by_sender(self):
+        inbox = Inbox.from_pairs([(1, "a"), (2, "b"), (1, "c")])
+        assert inbox.senders == {1, 2}
+        assert set(inbox.payloads_from(1)) == {"a", "c"}
+        assert inbox.payloads_from(2) == ("b",)
+
+    def test_duplicates_from_same_sender_in_a_round_are_discarded(self):
+        # Section IV: "duplicate messages from the same node in a round are
+        # simply discarded".
+        inbox = Inbox.from_pairs([(1, "x"), (1, "x"), (1, "x")])
+        assert len(inbox) == 1
+        assert inbox.payloads_from(1) == ("x",)
+
+    def test_distinct_payloads_from_same_sender_are_kept(self):
+        inbox = Inbox.from_pairs([(1, "x"), (1, "y")])
+        assert len(inbox) == 2
+
+    def test_count_counts_distinct_senders_not_messages(self):
+        inbox = Inbox.from_pairs([(1, "x"), (2, "x"), (2, "x"), (3, "y")])
+        assert inbox.count("x") == 2
+        assert inbox.count("y") == 1
+        assert inbox.count("z") == 0
+
+    def test_senders_of_and_received_from(self):
+        inbox = Inbox.from_pairs([(1, "x"), (2, "y")])
+        assert inbox.senders_of("x") == {1}
+        assert inbox.received_from(1, "x")
+        assert not inbox.received_from(1, "y")
+
+    def test_senders_matching_predicate(self):
+        inbox = Inbox.from_pairs([(1, ("echo", 5)), (2, ("vote", 5)), (3, ("echo", 6))])
+        echoers = inbox.senders_matching(lambda p: p[0] == "echo")
+        assert echoers == {1, 3}
+
+    def test_items_iteration_and_contains(self):
+        inbox = Inbox.from_pairs([(1, "x"), (2, "y")])
+        assert sorted(inbox.items()) == [(1, "x"), (2, "y")]
+        assert 1 in inbox and 3 not in inbox
+
+    def test_group_by_type(self):
+        inbox = Inbox.from_pairs([(1, "x"), (2, 42)])
+        grouped = inbox.group_by_type()
+        assert grouped[str] == [(1, "x")]
+        assert grouped[int] == [(2, 42)]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 3)), min_size=0, max_size=40
+        )
+    )
+    def test_property_counts_never_exceed_sender_count(self, pairs):
+        inbox = Inbox.from_pairs(pairs)
+        for _, payload in pairs:
+            assert inbox.count(payload) <= len(inbox.senders)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 3)), min_size=1, max_size=40
+        )
+    )
+    def test_property_every_pair_is_retrievable(self, pairs):
+        inbox = Inbox.from_pairs(pairs)
+        for sender, payload in pairs:
+            assert inbox.received_from(sender, payload)
+
+
+class TestEnvelope:
+    def test_delivery_must_be_after_send(self):
+        with pytest.raises(ValueError):
+            Envelope(sender=1, dest=2, payload="x", sent_round=3, deliver_round=3)
+
+    def test_valid_envelope(self):
+        env = Envelope(sender=1, dest=2, payload="x", sent_round=3, deliver_round=4)
+        assert env.deliver_round == 4
+
+
+class TestOutgoing:
+    def test_broadcast_and_unicast_are_value_types(self):
+        assert Broadcast("m") == Broadcast("m")
+        assert Unicast(2, "m") == Unicast(2, "m")
+        assert Broadcast("m") != Unicast(2, "m")

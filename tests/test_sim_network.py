@@ -1,0 +1,220 @@
+"""Unit and integration tests for the synchronous network engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    Broadcast,
+    DuplicateNodeError,
+    MembershipError,
+    NullProcess,
+    PartitionDelay,
+    Process,
+    RoundLimitExceeded,
+    SynchronousNetwork,
+    Unicast,
+    UniformRandomDelay,
+)
+
+
+class EchoOnce(Process):
+    """Broadcasts a greeting in round 1 and records everything it receives."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def step(self, view):
+        self.received.append((view.round_index, sorted(view.inbox.items())))
+        if view.round_index == 1:
+            return [Broadcast(("hello", self.node_id))]
+        return ()
+
+
+class UnicastReplier(Process):
+    """Replies to every sender it hears from with a direct message."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.replies_received = 0
+
+    def step(self, view):
+        replies = []
+        for sender, payload in view.inbox.items():
+            if payload == "ping":
+                replies.append(Unicast(sender, "pong"))
+            if payload == "pong":
+                self.replies_received += 1
+        if view.round_index == 1:
+            return [Broadcast("ping")]
+        return replies
+
+
+class DeciderAfter(Process):
+    def __init__(self, node_id, decide_round):
+        super().__init__(node_id)
+        self._decide_round = decide_round
+        self._output = None
+
+    @property
+    def output(self):
+        return self._output
+
+    def step(self, view):
+        if view.round_index >= self._decide_round:
+            self._output = "done"
+            self.halt()
+        return ()
+
+
+class TestBasicDelivery:
+    def test_broadcast_is_delivered_to_everyone_next_round_including_self(self):
+        net = SynchronousNetwork([EchoOnce(i) for i in (10, 20, 30)])
+        net.step_round()
+        net.step_round()
+        for node in (10, 20, 30):
+            proc = net.process(node)
+            round2 = dict(proc.received)[2]
+            senders = {s for s, _ in round2}
+            assert senders == {10, 20, 30}
+
+    def test_round1_inbox_is_empty(self):
+        net = SynchronousNetwork([EchoOnce(1), EchoOnce(2)])
+        net.step_round()
+        assert dict(net.process(1).received)[1] == []
+
+    def test_unicast_reaches_only_destination(self):
+        net = SynchronousNetwork([UnicastReplier(1), UnicastReplier(2)])
+        for _ in range(3):
+            net.step_round()
+        # Each node's round-1 ping reaches both nodes (broadcast includes
+        # self), so each node receives exactly two pong replies — one from
+        # itself and one from its peer — and nothing more.
+        assert net.process(1).replies_received == 2
+        assert net.process(2).replies_received == 2
+
+    def test_duplicate_node_ids_are_rejected(self):
+        with pytest.raises(DuplicateNodeError):
+            SynchronousNetwork([NullProcess(1), NullProcess(1)])
+
+    def test_metrics_count_messages(self):
+        net = SynchronousNetwork([EchoOnce(i) for i in range(3)])
+        net.step_round()
+        # each of the 3 nodes broadcast to 3 destinations
+        assert net.metrics.total_messages == 9
+        assert net.metrics.total_broadcasts == 3
+
+
+class TestRunLoop:
+    def test_run_stops_when_all_correct_decided(self):
+        net = SynchronousNetwork([DeciderAfter(i, decide_round=4) for i in range(4)])
+        result = net.run(max_rounds=20)
+        assert result.stop_reason == "stop_condition"
+        assert result.rounds_executed == 4
+        assert result.agreement_reached()
+
+    def test_run_hits_round_limit(self):
+        net = SynchronousNetwork([NullProcess(1)])
+        result = net.run(max_rounds=5)
+        assert result.stop_reason == "round_limit"
+        assert result.rounds_executed == 5
+
+    def test_round_limit_can_raise(self):
+        net = SynchronousNetwork([NullProcess(1)])
+        with pytest.raises(RoundLimitExceeded):
+            net.run(max_rounds=3, raise_on_limit=True)
+
+    def test_run_result_exposes_outputs(self):
+        net = SynchronousNetwork([DeciderAfter(1, 2), DeciderAfter(2, 2)])
+        result = net.run(max_rounds=10)
+        assert result.outputs() == {1: "done", 2: "done"}
+        assert result.distinct_decisions() == {"done"}
+        assert result.metrics.decision_rounds() == {1: 2, 2: 2}
+
+
+class TestMembership:
+    def test_join_at_round(self):
+        class GreetOnFirstStep(Process):
+            def __init__(self, node_id):
+                super().__init__(node_id)
+                self.stepped = 0
+
+            def step(self, view):
+                self.stepped += 1
+                if self.stepped == 1:
+                    return [Broadcast(("joined", self.node_id))]
+                return ()
+
+        net = SynchronousNetwork([EchoOnce(1)])
+        net.add_process(GreetOnFirstStep(2), at_round=3)
+        for _ in range(4):
+            net.step_round()
+        assert 2 in net.active_ids()
+        # The late joiner is first stepped in round 3; its greeting is heard
+        # by node 1 in round 4.
+        round4 = dict(net.process(1).received)[4]
+        assert any(sender == 2 for sender, _ in round4)
+
+    def test_leave_at_round_stops_scheduling_and_delivery(self):
+        net = SynchronousNetwork([EchoOnce(1), EchoOnce(2)])
+        net.remove_process(2, at_round=2)
+        net.step_round()
+        net.step_round()
+        assert 2 not in net.active_ids()
+        # The departed node is no longer stepped: it only ever saw round 1.
+        assert [r for r, _ in net.process(2).received] == [1]
+        # Messages already in flight to the survivors are still delivered.
+        round2_senders = {s for s, _ in dict(net.process(1).received)[2]}
+        assert round2_senders == {1, 2}
+
+    def test_leave_of_unknown_node_is_an_error(self):
+        net = SynchronousNetwork([NullProcess(1)])
+        with pytest.raises(MembershipError):
+            net.remove_process(99)
+
+
+class TestDelayModels:
+    def test_partition_blocks_cross_group_messages(self):
+        delay = PartitionDelay(groups=(frozenset({1}), frozenset({2})))
+        net = SynchronousNetwork([EchoOnce(1), EchoOnce(2)], delay_model=delay)
+        for _ in range(5):
+            net.step_round()
+        # node 1 only ever hears itself
+        all_senders = {s for _, pairs in net.process(1).received for s, _ in pairs}
+        assert all_senders == {1}
+
+    def test_partition_heals_at_heal_round(self):
+        delay = PartitionDelay(groups=(frozenset({1}), frozenset({2})), heal_round=4)
+        net = SynchronousNetwork([EchoOnce(1), EchoOnce(2)], delay_model=delay)
+        for _ in range(5):
+            net.step_round()
+        senders_by_round = {r: {s for s, _ in pairs} for r, pairs in net.process(1).received}
+        assert 2 not in senders_by_round[2]
+        assert 2 in senders_by_round[4]
+
+    def test_random_delay_is_bounded(self):
+        delay = UniformRandomDelay(max_delay=3)
+        net = SynchronousNetwork([EchoOnce(i) for i in range(4)], delay_model=delay, seed=3)
+        for _ in range(6):
+            net.step_round()
+        # every broadcast from round 1 must have arrived by round 4
+        received_rounds = [
+            r for r, pairs in net.process(0).received if any(p[1][0] == "hello" for p in pairs)
+        ]
+        assert received_rounds and max(received_rounds) <= 4
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def build():
+            return SynchronousNetwork(
+                [EchoOnce(i) for i in range(5)], seed=42, trace=True
+            )
+
+        first, second = build(), build()
+        first.run(max_rounds=4, stop_when=lambda n: False)
+        second.run(max_rounds=4, stop_when=lambda n: False)
+        events_first = [(e.kind, e.round_index, e.node_id, e.peer_id) for e in first.trace]
+        events_second = [(e.kind, e.round_index, e.node_id, e.peer_id) for e in second.trace]
+        assert events_first == events_second

@@ -1,0 +1,160 @@
+"""Tests for workload generation, statistics, tables and property checkers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    aggregate_rows,
+    chains_are_prefixes,
+    consensus_agreement,
+    consensus_validity,
+    fraction_true,
+    mean,
+    render_markdown_table,
+    render_table,
+    stdev,
+    summarize,
+)
+from repro.core.total_order import ChainEntry
+from repro.sim.rng import derive, make_rng, sample_without_replacement, shuffled, spawn
+from repro.workloads import (
+    binary_inputs,
+    real_inputs,
+    sparse_ids,
+    split_correct_byzantine,
+)
+
+
+class TestSparseIds:
+    def test_unique_and_sorted(self):
+        ids = sparse_ids(50, seed=1)
+        assert len(ids) == 50 == len(set(ids))
+        assert ids == sorted(ids)
+
+    def test_not_consecutive(self):
+        ids = sparse_ids(20, seed=2)
+        gaps = [b - a for a, b in zip(ids, ids[1:])]
+        assert any(g > 1 for g in gaps)
+
+    def test_deterministic_per_seed(self):
+        assert sparse_ids(10, seed=3) == sparse_ids(10, seed=3)
+        assert sparse_ids(10, seed=3) != sparse_ids(10, seed=4)
+
+    def test_rejects_impossible_requests(self):
+        with pytest.raises(ValueError):
+            sparse_ids(0)
+        with pytest.raises(ValueError):
+            sparse_ids(100, low=0, high=10)
+
+    @given(st.integers(1, 80), st.integers(0, 1000))
+    def test_property_requested_count_is_honoured(self, n, seed):
+        assert len(sparse_ids(n, seed=seed)) == n
+
+
+class TestSplitAndInputs:
+    def test_split_sizes(self):
+        ids = sparse_ids(10, seed=5)
+        correct, byz = split_correct_byzantine(ids, 3, seed=5)
+        assert len(correct) == 7 and len(byz) == 3
+        assert set(correct) | set(byz) == set(ids)
+        assert not set(correct) & set(byz)
+
+    def test_split_rejects_bad_f(self):
+        with pytest.raises(ValueError):
+            split_correct_byzantine([1, 2, 3], 4)
+
+    def test_binary_inputs_fraction(self):
+        inputs = binary_inputs(list(range(100)), ones_fraction=0.3, seed=1)
+        assert sum(inputs.values()) == 30
+
+    def test_real_inputs_within_bounds(self):
+        inputs = real_inputs(list(range(50)), low=-5.0, high=5.0, seed=2)
+        assert all(-5.0 <= v <= 5.0 for v in inputs.values())
+
+
+class TestRng:
+    def test_derive_is_stable_and_sensitive(self):
+        assert derive(1, "a", 2) == derive(1, "a", 2)
+        assert derive(1, "a", 2) != derive(1, "a", 3)
+        assert derive(1, "a") != derive(2, "a")
+
+    def test_spawn_produces_independent_generators(self):
+        children = spawn(make_rng(0), 3)
+        draws = [g.integers(0, 1_000_000) for g in children]
+        assert len(set(int(d) for d in draws)) == 3
+
+    def test_shuffled_preserves_multiset(self):
+        rng = make_rng(1)
+        items = list(range(20))
+        assert sorted(shuffled(rng, items)) == items
+
+    def test_sample_without_replacement(self):
+        rng = make_rng(2)
+        sample = sample_without_replacement(rng, list(range(10)), 4)
+        assert len(sample) == 4 == len(set(sample))
+        with pytest.raises(ValueError):
+            sample_without_replacement(rng, [1], 2)
+
+
+class TestStats:
+    def test_mean_and_stdev(self):
+        assert mean([1, 2, 3]) == 2
+        assert stdev([1, 1, 1]) == 0
+        assert math.isnan(mean([]))
+
+    def test_fraction_true(self):
+        assert fraction_true([True, False, True, True]) == 0.75
+        assert math.isnan(fraction_true([]))
+
+    def test_summarize(self):
+        s = summarize([1.0, 3.0])
+        assert s["mean"] == 2.0 and s["min"] == 1.0 and s["max"] == 3.0
+
+    def test_aggregate_rows_groups_and_averages(self):
+        rows = [
+            {"n": 4, "ok": True, "rounds": 10},
+            {"n": 4, "ok": False, "rounds": 20},
+            {"n": 7, "ok": True, "rounds": 30},
+        ]
+        out = aggregate_rows(rows, group_by=["n"], metrics=["ok", "rounds"])
+        assert out[0] == {"n": 4, "samples": 2, "ok": 0.5, "rounds": 15.0}
+        assert out[1]["n"] == 7 and out[1]["samples"] == 1
+
+
+class TestTables:
+    def test_render_table_contains_headers_and_rows(self):
+        text = render_table([{"a": 1, "b": 2.5}, {"a": 3, "b": True}], title="t")
+        assert "t" in text and "a" in text and "2.5" in text and "yes" in text
+
+    def test_render_table_empty(self):
+        assert "(no rows)" in render_table([], title="empty")
+
+    def test_render_markdown_table(self):
+        md = render_markdown_table([{"x": 1}])
+        assert md.splitlines()[0] == "| x |"
+        assert md.splitlines()[-1] == "| 1 |"
+
+
+class TestPropertyCheckers:
+    def test_consensus_agreement(self):
+        assert consensus_agreement({1: "a", 2: "a"})
+        assert not consensus_agreement({1: "a", 2: "b"})
+        assert not consensus_agreement({1: "a", 2: None})
+        assert not consensus_agreement({})
+
+    def test_consensus_validity(self):
+        inputs = {1: 0, 2: 1}
+        assert consensus_validity({1: 0, 2: 0}, inputs)
+        assert not consensus_validity({1: 2, 2: 2}, inputs)
+        assert not consensus_validity({1: 0}, {1: 1, 2: 1})
+
+    def test_chains_are_prefixes(self):
+        a = [ChainEntry(1, 1, "x"), ChainEntry(2, 2, "y")]
+        b = a + [ChainEntry(3, 1, "z")]
+        assert chains_are_prefixes([a, b])
+        c = [ChainEntry(1, 1, "x"), ChainEntry(2, 2, "DIFFERENT")]
+        assert not chains_are_prefixes([c, b])
