@@ -7,16 +7,27 @@ experiment sweep; the benchmark body also asserts the experiment's headline
 property so a regression in correctness fails the benchmark run, not just
 the timing.
 
+The experiments run through the declarative sweep engine, so the benchmarks
+can fan scenarios out over worker processes without changing the measured
+results — set ``REPRO_BENCH_JOBS=N`` to measure the parallel path (the
+aggregated rows are bit-identical for any N).
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
+    REPRO_BENCH_JOBS=8 pytest benchmarks/ --benchmark-only
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.harness import run_experiment
+
+#: Worker processes per experiment sweep (1 = sequential, the default).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture
@@ -25,7 +36,11 @@ def run_one(benchmark):
 
     def _run(experiment_id: str, scale: int = 1):
         return benchmark.pedantic(
-            run_experiment, args=(experiment_id,), kwargs={"scale": scale}, rounds=1, iterations=1
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale, "jobs": BENCH_JOBS},
+            rounds=1,
+            iterations=1,
         )
 
     return _run

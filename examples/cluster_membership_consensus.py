@@ -8,6 +8,10 @@ one shot — every key is its own consensus instance, all running in
 parallel — while a Byzantine member equivocates and also injects consensus
 traffic for keys nobody proposed.
 
+The scenario is declared through ``repro.api``: the configuration snapshot
+travels as the ``pairs`` protocol parameter, so the identical agreement run
+can be replayed from the spec's JSON form alone.
+
 Run with::
 
     python examples/cluster_membership_consensus.py
@@ -16,15 +20,10 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import render_table
-from repro.core.parallel_consensus import ParallelConsensusProcess
-from repro.workloads import build_network, sparse_ids, split_correct_byzantine
+from repro.api import ScenarioSpec, run_scenario
 
 
 def main() -> None:
-    n, f = 10, 3
-    ids = sparse_ids(n, seed=5)
-    correct, byzantine = split_correct_byzantine(ids, f, seed=6)
-
     # Every correct member proposes the same configuration snapshot (e.g.
     # produced by a deterministic reconciliation step).
     proposed_config = {
@@ -35,18 +34,21 @@ def main() -> None:
         "max_connections": 512,
     }
 
-    spec = build_network(
-        correct_factory=lambda node: ParallelConsensusProcess(
-            node, input_pairs=proposed_config
-        ),
-        correct_ids=correct,
-        byzantine_ids=byzantine,
-        strategy="consensus-split-vote",
-        seed=3,
+    n, f = 10, 3
+    outcome = run_scenario(
+        ScenarioSpec(
+            protocol="parallel-consensus",
+            n=n,
+            f=f,
+            adversary="consensus-split-vote",
+            params={"pairs": proposed_config},
+            max_rounds=60,
+            seed=3,
+        )
     )
-    result = spec.network.run(max_rounds=60)
 
-    outputs = {node: spec.network.process(node).output for node in correct}
+    correct = outcome.system.correct_ids
+    outputs = outcome.outputs()
     reference = outputs[correct[0]]
     rows = [
         {"key": key, "agreed value": value, "matches proposal": proposed_config[key] == value}
@@ -57,8 +59,8 @@ def main() -> None:
     print(render_table(rows, title="agreed configuration"))
     identical = all(output == reference for output in outputs.values())
     print(f"\nall correct members hold the identical configuration: {identical}")
-    print(f"decided within {result.metrics.latest_decision_round()} rounds, "
-          f"{result.metrics.total_messages} messages total")
+    print(f"decided within {outcome.result.metrics.latest_decision_round()} rounds, "
+          f"{outcome.messages} messages total")
 
 
 if __name__ == "__main__":

@@ -3,13 +3,15 @@
 
 The paper's motivation is networks — such as Nakamoto-style blockchains —
 whose participant set changes over time and is never known exactly.  This
-example runs Algorithm 6 (total ordering of events in a dynamic network):
+example runs Algorithm 6 (total ordering of events in a dynamic network)
+through the declarative ``repro.api`` layer:
 
 * five genesis replicas and one Byzantine node start the system;
 * clients submit "transactions" (events) through their local replica every
   round;
-* two new replicas join mid-run via the ``present``/``ack`` handshake and
-  one genesis replica announces ``absent`` and leaves;
+* the churn options generate a random-but-reproducible schedule of
+  replicas joining via the ``present``/``ack`` handshake and genesis
+  replicas announcing ``absent`` and leaving — always preserving n > 3f;
 * at the end, every correct replica holds the same totally ordered ledger
   (chain-prefix), and the ledger keeps growing (chain-growth).
 
@@ -20,68 +22,53 @@ Run with::
 
 from __future__ import annotations
 
-from repro.adversary import ByzantineProcess, make_strategy
 from repro.analysis import chains_are_prefixes
-from repro.core.total_order import TotalOrderProcess
-from repro.sim import SynchronousNetwork
-
-
-def transaction_stream(replica_id: int):
-    """Each replica's clients submit one transaction every other round."""
-
-    def witness(round_index: int):
-        if round_index % 2 == replica_id % 2:
-            return f"tx(replica={replica_id}, seq={round_index})"
-        return None
-
-    return witness
+from repro.api import ScenarioSpec, run_scenario
 
 
 def main() -> None:
-    genesis = [101, 205, 317, 442, 568]
-    byzantine = [666]
-    members = set(genesis) | set(byzantine)
-
-    replicas = [
-        TotalOrderProcess(
-            node,
-            initial_members=members,
-            events=transaction_stream(node),
-            leave_round=25 if node == genesis[-1] else None,
-        )
-        for node in genesis
-    ]
-    adversary = [
-        ByzantineProcess(node, make_strategy("random-noise"), seed=node)
-        for node in byzantine
-    ]
-
-    network = SynchronousNetwork(replicas + adversary, seed=7)
-    # Two replicas join while the system is running.
-    for joiner, join_round in ((700, 10), (815, 18)):
-        network.add_process(
-            TotalOrderProcess(joiner, initial_members=None, events=transaction_stream(joiner)),
-            at_round=join_round,
-        )
-
     rounds = 60
-    network.run(max_rounds=rounds, stop_when=lambda net: False)
+    outcome = run_scenario(
+        ScenarioSpec(
+            protocol="total-order",
+            n=6,                       # five genesis replicas + one Byzantine
+            f=1,
+            adversary="random-noise",
+            churn={
+                "rounds": rounds,
+                "join_rate": 0.10,     # new replicas appear via present/ack
+                "leave_rate": 0.05,    # genesis replicas wind down via absent
+            },
+            seed=7,
+        )
+    )
 
-    chains = {node: network.process(node).chain for node in genesis}
+    schedule = outcome.system.params["schedule"]
+    network = outcome.network
+    genesis = outcome.system.correct_ids
+    joins = [e for e in schedule.events if e.kind == "join"]
+    leaves = [e for e in schedule.events if e.kind == "leave"]
+
+    departed = {e.node_id for e in leaves}
+    stayed = [node for node in genesis if node not in departed]
+    chains = {node: network.process(node).chain for node in stayed}
     reference = max(chains.values(), key=len)
 
-    print(f"ran {rounds} rounds with joins at 10 and 18 and a leave at 25\n")
+    print(f"ran {rounds} rounds with {len(joins)} joins and {len(leaves)} leaves "
+          f"(schedule generated from the scenario seed)\n")
     print("ledger prefix (first 12 ordered transactions):")
     for entry in reference[:12]:
-        print(f"  round {entry.instance_round:>3}  reporter {entry.reporter:>4}  {entry.event}")
+        print(f"  round {entry.instance_round:>3}  reporter {entry.reporter:>8}  {entry.event}")
     print(f"  ... {len(reference)} ordered transactions in total\n")
 
     lengths = {node: len(chain) for node, chain in chains.items()}
-    print(f"ledger lengths per genesis replica: {lengths}")
-    print(f"chain-prefix property holds        : {chains_are_prefixes(list(chains.values()))}")
-    late_replica = network.process(815)
-    print(f"late joiner caught up               : joined={late_replica.joined}, "
-          f"ledger length={len(late_replica.chain)}")
+    print(f"ledger lengths per surviving genesis replica: {lengths}")
+    print(f"chain-prefix property holds                 : "
+          f"{chains_are_prefixes(list(chains.values()))}")
+    if joins:
+        joiner = network.process(joins[0].node_id)
+        print(f"first joiner caught up                      : joined={joiner.joined}, "
+              f"ledger length={len(joiner.chain)}")
 
 
 if __name__ == "__main__":

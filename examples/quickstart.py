@@ -1,11 +1,19 @@
 #!/usr/bin/env python3
 """Quickstart: Byzantine consensus without knowing n or f.
 
-Builds a 10-node system in which 3 nodes are Byzantine (the maximum the
-n > 3f bound allows), runs the id-only consensus algorithm (Algorithm 3 of
-the paper) against a vote-splitting adversary, and prints what every
-correct node decided, how many rounds it took and how many messages were
-exchanged.
+Declares a 10-node scenario in which 3 nodes are Byzantine (the maximum
+the n > 3f bound allows), runs the id-only consensus algorithm (Algorithm
+3 of the paper) against a vote-splitting adversary through the unified
+``repro.api`` layer, and prints what every correct node decided, how many
+rounds it took and how many messages were exchanged.
+
+The whole experiment is one declarative :class:`repro.api.ScenarioSpec` —
+the same value round-trips through JSON, ships to worker processes in
+parallel sweeps, and reproduces bit-identically from its seed.
+
+Migration note: older revisions used ``repro.consensus_system(n, f, ...)``;
+that helper still works but is deprecated — this spec + ``run_scenario``
+pair is the replacement.
 
 Run with::
 
@@ -14,42 +22,47 @@ Run with::
 
 from __future__ import annotations
 
-from repro import consensus_system
+import json
+
 from repro.analysis import consensus_agreement, consensus_validity, render_table
+from repro.api import ScenarioSpec, run_scenario
 
 
 def main() -> None:
-    n, f = 10, 3
-    spec = consensus_system(
-        n,
-        f,
-        ones_fraction=0.5,                # half the correct nodes start with 1
-        strategy="consensus-split-vote",  # the adversary equivocates on every message
+    spec = ScenarioSpec(
+        protocol="consensus",
+        n=10,
+        f=3,
+        input_params={"ones_fraction": 0.5},  # half the correct nodes start with 1
+        adversary="consensus-split-vote",     # the adversary equivocates on every message
         seed=2024,
+        max_rounds=100,
     )
-    print(f"system: n = {spec.n} nodes, f = {spec.f} Byzantine "
+    print("scenario:", json.dumps(spec.to_dict(), sort_keys=True))
+
+    outcome = run_scenario(spec)
+    inputs = outcome.system.params["inputs"]
+    print(f"\nsystem: n = {spec.n} nodes, f = {spec.f} Byzantine "
           f"(ids are sparse, and no node knows n or f)")
-    print(f"correct inputs: {spec.params['inputs']}")
+    print(f"correct inputs: {inputs}")
 
-    result = spec.network.run(max_rounds=100)
-
-    outputs = result.decided_outputs()
+    outputs = outcome.result.decided_outputs()
     rows = [
         {
             "node": node,
-            "input": spec.params["inputs"][node],
+            "input": inputs[node],
             "decision": outputs[node],
-            "decided in round": result.metrics.decision_round(node),
+            "decided in round": outcome.result.metrics.decision_round(node),
         }
-        for node in spec.correct_ids
+        for node in outcome.system.correct_ids
     ]
     print()
     print(render_table(rows, title="per-node decisions"))
     print()
     print(f"agreement reached : {consensus_agreement(outputs)}")
-    print(f"validity satisfied: {consensus_validity(outputs, spec.params['inputs'])}")
-    print(f"rounds executed   : {result.rounds_executed}")
-    print(f"messages exchanged: {result.metrics.total_messages}")
+    print(f"validity satisfied: {consensus_validity(outputs, inputs)}")
+    print(f"rounds executed   : {outcome.rounds}")
+    print(f"messages exchanged: {outcome.messages}")
 
 
 if __name__ == "__main__":

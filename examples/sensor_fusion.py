@@ -9,6 +9,11 @@ compromised.  The iterated id-only approximate-agreement algorithm
 a common estimate that is guaranteed to lie inside the range of the correct
 readings, no matter what the compromised sensors report.
 
+The whole deployment is one declarative ``repro.api`` scenario: the
+``listed`` input kind assigns the drifting readings to the sensors by rank,
+and the ``approx-outlier`` adversary makes every compromised sensor report
+±1e9 "degrees" (a different lie per receiver).
+
 Run with::
 
     python examples/sensor_fusion.py
@@ -16,34 +21,34 @@ Run with::
 
 from __future__ import annotations
 
-from repro.adversary import make_strategy
 from repro.analysis import render_table
-from repro.core.approximate_agreement import IteratedApproximateAgreementProcess
-from repro.workloads import build_network, sparse_ids, split_correct_byzantine
+from repro.api import ScenarioSpec, run_scenario
 
 
 def main() -> None:
     n, f = 16, 5                      # 16 sensors, up to 5 compromised (n > 3f)
     iterations = 8
-    ids = sparse_ids(n, seed=99)
-    correct, byzantine = split_correct_byzantine(ids, f, seed=42)
 
     # True temperature is ~21.5°C; correct sensors read it with drift.
-    readings = {node: 21.5 + ((hash(node) % 100) - 50) / 25.0 for node in correct}
+    readings = [21.5 + ((i * 37) % 100 - 50) / 25.0 for i in range(n - f)]
 
-    spec = build_network(
-        correct_factory=lambda node: IteratedApproximateAgreementProcess(
-            node, input_value=readings[node], iterations=iterations
-        ),
-        correct_ids=correct,
-        byzantine_ids=byzantine,
-        # Compromised sensors report ±1e9 "degrees", different per receiver.
-        strategy=make_strategy("approx-outlier"),
-        seed=1,
+    outcome = run_scenario(
+        ScenarioSpec(
+            protocol="iterated-approximate-agreement",
+            n=n,
+            f=f,
+            inputs="listed",
+            input_params={"values": readings},
+            adversary="approx-outlier",
+            params={"iterations": iterations},
+            max_rounds=iterations + 3,
+            stop="never",
+            seed=99,
+        )
     )
-    spec.network.run(max_rounds=iterations + 3, stop_when=lambda net: False)
 
-    histories = {node: spec.network.process(node).history for node in correct}
+    correct = outcome.system.correct_ids
+    histories = {node: outcome.network.process(node).history for node in correct}
     rows = []
     for iteration in range(iterations + 1):
         values = [history[iteration] for history in histories.values()]
@@ -56,10 +61,10 @@ def main() -> None:
             }
         )
 
-    print(f"{len(correct)} correct sensors, {len(byzantine)} compromised, "
+    print(f"{len(correct)} correct sensors, {f} compromised, "
           f"{iterations} fusion iterations\n")
     print(render_table(rows, title="convergence of the fused estimate"))
-    in_lo, in_hi = min(readings.values()), max(readings.values())
+    in_lo, in_hi = min(readings), max(readings)
     finals = [h[-1] for h in histories.values()]
     print(f"\ncorrect readings ranged over [{in_lo:.3f}, {in_hi:.3f}] °C")
     print(f"final estimates range over   [{min(finals):.3f}, {max(finals):.3f}] °C")

@@ -8,16 +8,52 @@ ordering), the synchronous round-based simulator they run on, Byzantine
 adversary strategies, classic known-(n, f) baselines, and the experiment
 harness that regenerates the evaluation described in ``DESIGN.md``.
 
-Quick start::
+Quick start — the declarative :mod:`repro.api` layer is the front door::
 
-    from repro import consensus_system
+    from repro.api import ScenarioSpec, run_scenario
 
-    spec = consensus_system(n=10, f=3, strategy="consensus-split-vote", seed=1)
-    result = spec.network.run(max_rounds=100)
-    print(result.decided_outputs())
+    outcome = run_scenario(
+        ScenarioSpec(protocol="consensus", n=10, f=3,
+                     adversary="consensus-split-vote", seed=1)
+    )
+    print(outcome.result.decided_outputs())
+
+Sweeps over cartesian grids run through the same layer, in parallel::
+
+    from repro.api import SweepSpec, run_sweep
+
+    rows = run_sweep(
+        SweepSpec(protocol="consensus",
+                  grid={"n": (4, 7, 10, 13),
+                        "adversary": ("silent", "consensus-split-vote")},
+                  repetitions=5),
+        jobs=4,                       # bit-identical to jobs=1
+        group_by=("n", "adversary"),
+        metrics=("agreement", "rounds", "messages"),
+    )
+
+Migration note: the per-protocol helpers ``consensus_system``,
+``reliable_broadcast_system``, ``rotor_coordinator_system`` and
+``approximate_agreement_system`` in :mod:`repro.workloads` are deprecated
+shims kept for backwards compatibility.  Replace
+``consensus_system(n, f, strategy=..., seed=...)`` with
+``run_scenario(ScenarioSpec(protocol="consensus", n=n, f=f,
+adversary=..., seed=...))`` — identical seeds build identical systems —
+and see :func:`repro.api.available_protocols` for every registered name.
 """
 
-from . import adversary, analysis, baselines, core, dynamic, harness, sim, workloads
+from . import adversary, analysis, api, baselines, core, dynamic, harness, sim, workloads
+from .api import (
+    REGISTRY,
+    ScenarioOutcome,
+    ScenarioSpec,
+    SweepRunner,
+    SweepSpec,
+    available_protocols,
+    build_system,
+    run_scenario,
+    run_sweep,
+)
 from .core import (
     ApproximateAgreementProcess,
     ConsensusProcess,
@@ -36,22 +72,30 @@ from .workloads import (
     rotor_coordinator_system,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ApproximateAgreementProcess",
     "ConsensusProcess",
     "IteratedApproximateAgreementProcess",
     "ParallelConsensusProcess",
+    "REGISTRY",
     "ReliableBroadcastProcess",
     "RotorCoordinatorProcess",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "SweepRunner",
+    "SweepSpec",
     "SynchronousNetwork",
     "TotalOrderProcess",
     "__version__",
     "adversary",
     "analysis",
+    "api",
     "approximate_agreement_system",
+    "available_protocols",
     "baselines",
+    "build_system",
     "consensus_system",
     "core",
     "dynamic",
@@ -60,6 +104,8 @@ __all__ = [
     "rotor_coordinator_system",
     "run_experiment",
     "run_many",
+    "run_scenario",
+    "run_sweep",
     "sim",
     "workloads",
 ]

@@ -1,0 +1,53 @@
+"""repro.api — the unified, declarative scenario API.
+
+This layer is the single entry point for building and running simulated
+executions of the paper's protocols:
+
+* :class:`ScenarioSpec` — a frozen, JSON-round-trippable description of one
+  scenario (protocol, n, f, inputs, adversary, delays, churn, seed, budget);
+* :data:`REGISTRY` / :func:`build_system` — the protocol registry mapping
+  the seven id-only algorithms and three classic baselines to a common
+  ``build(spec) -> SystemSpec`` factory;
+* :func:`run_scenario` — build + run one scenario under its run policy;
+* :class:`SweepSpec` / :class:`SweepRunner` — cartesian sweep expansion and
+  (process-pool) parallel execution with deterministic aggregation.
+
+Quick start::
+
+    from repro.api import ScenarioSpec, run_scenario
+
+    outcome = run_scenario(
+        ScenarioSpec(protocol="consensus", n=10, f=3,
+                     adversary="consensus-split-vote", seed=1)
+    )
+    print(outcome.result.decided_outputs())
+"""
+
+from .registry import (
+    REGISTRY,
+    ProtocolInfo,
+    ProtocolRegistry,
+    available_protocols,
+    build_system,
+    register_protocol,
+)
+from .spec import DELAY_KINDS, INPUT_KINDS, STOP_KINDS, ScenarioSpec
+from .sweep import ScenarioOutcome, SweepRunner, SweepSpec, run_scenario, run_sweep
+
+__all__ = [
+    "DELAY_KINDS",
+    "INPUT_KINDS",
+    "REGISTRY",
+    "STOP_KINDS",
+    "ProtocolInfo",
+    "ProtocolRegistry",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "SweepRunner",
+    "SweepSpec",
+    "available_protocols",
+    "build_system",
+    "register_protocol",
+    "run_scenario",
+    "run_sweep",
+]

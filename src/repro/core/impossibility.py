@@ -29,6 +29,7 @@ from .consensus import ConsensusProcess
 
 __all__ = [
     "PartitionOutcome",
+    "outcome_from_outputs",
     "run_partitioned_consensus",
     "asynchronous_partition_execution",
     "semi_synchronous_partition_execution",
@@ -62,6 +63,31 @@ class PartitionOutcome:
     @property
     def agreement(self) -> bool:
         return self.all_decided and not self.disagreement
+
+
+def outcome_from_outputs(
+    group_a: Sequence[NodeId],
+    group_b: Sequence[NodeId],
+    outputs: dict[NodeId, object],
+    *,
+    rounds: int,
+    delay_model: str,
+) -> PartitionOutcome:
+    """Classify an arbitrary run's decisions with the Lemma 14/15 vocabulary.
+
+    Lets the declarative E6 sweep (which runs partition scenarios through
+    the generic :mod:`repro.api` engine) reuse the
+    ``all_decided``/``disagreement``/``agreement`` logic above.
+    """
+
+    return PartitionOutcome(
+        group_a=tuple(group_a),
+        group_b=tuple(group_b),
+        decisions_a=tuple(outputs[i] for i in group_a),
+        decisions_b=tuple(outputs[i] for i in group_b),
+        rounds=rounds,
+        delay_model=delay_model,
+    )
 
 
 def _partition_ids(n_a: int, n_b: int, seed: int) -> tuple[list[NodeId], list[NodeId]]:

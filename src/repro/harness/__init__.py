@@ -3,20 +3,23 @@
 from .ablations import ABLATIONS, a1_substitution_rule, a2_misconfigured_fault_bound
 from .experiments import (
     EXPERIMENTS,
+    ExperimentDefinition,
     ExperimentResult,
     all_experiment_ids,
     run_experiment,
 )
-from .runner import run_many, write_markdown_report
+from .runner import run_many, write_json_report, write_markdown_report
 
 __all__ = [
     "ABLATIONS",
     "EXPERIMENTS",
+    "ExperimentDefinition",
     "ExperimentResult",
     "a1_substitution_rule",
     "a2_misconfigured_fault_bound",
     "all_experiment_ids",
     "run_experiment",
     "run_many",
+    "write_json_report",
     "write_markdown_report",
 ]

@@ -23,16 +23,9 @@ from __future__ import annotations
 
 from ..analysis.properties import consensus_agreement
 from ..analysis.stats import aggregate_rows
-from ..baselines import SrikanthTouegBroadcastProcess
+from ..api import ScenarioSpec, run_scenario
 from ..core.quorums import max_faults_tolerated
 from ..sim.rng import derive
-from ..workloads import (
-    build_network,
-    consensus_system,
-    reliable_broadcast_system,
-    sparse_ids,
-    split_correct_byzantine,
-)
 from .experiments import ExperimentResult
 
 __all__ = ["a1_substitution_rule", "a2_misconfigured_fault_bound", "ABLATIONS"]
@@ -51,16 +44,18 @@ def a1_substitution_rule(scale: int = 1, seed: int = 101) -> ExperimentResult:
             # correct nodes' input split, and this seed range contains both
             # benign and violating alignments.
             for rep in range(8 * scale):
-                spec = consensus_system(
-                    n,
-                    f,
-                    ones_fraction=0.5,
-                    strategy="consensus-split-vote",
-                    seed=rep,
-                    substitution=rule,
+                outcome = run_scenario(
+                    ScenarioSpec(
+                        protocol="consensus",
+                        n=n,
+                        f=f,
+                        adversary="consensus-split-vote",
+                        seed=rep,
+                        max_rounds=60,
+                        params={"substitution": rule},
+                    )
                 )
-                spec.network.run(max_rounds=60)
-                outputs = {i: spec.network.process(i).output for i in spec.correct_ids}
+                outputs = outcome.outputs()
                 rows.append(
                     {
                         "n": n,
@@ -87,35 +82,43 @@ def a2_misconfigured_fault_bound(scale: int = 1, seed: int = 103) -> ExperimentR
     for assumed_f in range(0, real_f + 2):
         for rep in range(3 * scale):
             run_seed = derive(seed, assumed_f, rep)
-            ids = sparse_ids(n, seed=derive(run_seed, "ids"))
-            correct, byz = split_correct_byzantine(ids, real_f, seed=derive(run_seed, "split"))
-            source = correct[0]
-            spec = build_network(
-                correct_factory=lambda node: SrikanthTouegBroadcastProcess(
-                    node, source=source, assumed_f=assumed_f, message="hello"
-                ),
-                correct_ids=correct,
-                byzantine_ids=byz,
-                strategy="rb-false-echo",
-                seed=run_seed,
+            classic = run_scenario(
+                ScenarioSpec(
+                    protocol="srikanth-toueg-broadcast",
+                    n=n,
+                    f=real_f,
+                    adversary="rb-false-echo",
+                    seed=run_seed,
+                    max_rounds=10,
+                    stop="never",
+                    params={"assumed_f": assumed_f},
+                )
             )
-            spec.network.run(max_rounds=10, stop_when=lambda net: False)
+            source = classic.system.params["source"]
+            correct = classic.system.correct_ids
             forged = any(
                 rec.message == "forged"
                 for i in correct
-                for rec in spec.network.process(i).accepted
+                for rec in classic.network.process(i).accepted
             )
             delivered = all(
-                spec.network.process(i).has_accepted("hello", source) for i in correct
+                classic.network.process(i).has_accepted("hello", source) for i in correct
             )
             # The id-only algorithm on the identical workload, for contrast.
-            id_only = reliable_broadcast_system(
-                n, real_f, strategy="rb-false-echo", seed=run_seed
+            id_only = run_scenario(
+                ScenarioSpec(
+                    protocol="reliable-broadcast",
+                    n=n,
+                    f=real_f,
+                    adversary="rb-false-echo",
+                    seed=run_seed,
+                    max_rounds=10,
+                    stop="never",
+                )
             )
-            id_only.network.run(max_rounds=10, stop_when=lambda net: False)
             id_only_forged = any(
                 rec.message == "forged"
-                for i in id_only.correct_ids
+                for i in id_only.system.correct_ids
                 for rec in id_only.network.process(i).accepted
             )
             rows.append(

@@ -5,35 +5,57 @@ Command line usage (from the repository root, after ``pip install -e .``)::
     python -m repro.harness.runner            # run everything at scale 1
     python -m repro.harness.runner E3 E6      # run a subset
     python -m repro.harness.runner --scale 2  # larger sweeps
+    python -m repro.harness.runner --jobs 8   # fan out over 8 processes
+    python -m repro.harness.runner --seed 99  # re-draw every sweep
+    python -m repro.harness.runner --json -   # machine-readable results
     python -m repro.harness.runner --markdown results.md
+
+``--jobs N`` parallelises each experiment's scenario sweep over ``N``
+worker processes; the aggregated results are bit-identical to a
+sequential run because every scenario carries its own derived seed.
+``--json PATH`` (``-`` for stdout) emits the rows machine-readably so
+benchmark trajectories can be diffed across PRs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Sequence, TextIO
 
 from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
 
-__all__ = ["run_many", "write_markdown_report", "main"]
+__all__ = [
+    "run_many",
+    "write_markdown_report",
+    "write_json_report",
+    "main",
+]
 
 
 def run_many(
     experiment_ids: Sequence[str] | None = None,
     *,
     scale: int = 1,
+    seed: int | None = None,
+    jobs: int = 1,
     stream: TextIO | None = None,
 ) -> list[ExperimentResult]:
-    """Run the requested experiments, printing each table as it finishes."""
+    """Run the requested experiments, printing each table as it finishes.
+
+    ``seed`` is forwarded to every experiment (``None`` keeps each
+    experiment's canonical default seed) and ``jobs`` sets the
+    worker-process count for the underlying sweeps.
+    """
 
     stream = stream or sys.stdout
     ids = list(experiment_ids) if experiment_ids else list(EXPERIMENTS)
     results: list[ExperimentResult] = []
     for experiment_id in ids:
         start = time.perf_counter()
-        result = run_experiment(experiment_id, scale=scale)
+        result = run_experiment(experiment_id, scale=scale, seed=seed, jobs=jobs)
         elapsed = time.perf_counter() - start
         results.append(result)
         print(result.to_text(), file=stream)
@@ -52,6 +74,26 @@ def write_markdown_report(results: Sequence[ExperimentResult], path: str) -> Non
         handle.write("\n".join(parts))
 
 
+def write_json_report(
+    results: Sequence[ExperimentResult], path: str, *, indent: int | None = 2
+) -> None:
+    """Write the results as JSON (``path == "-"`` writes to stdout).
+
+    Keys are sorted and rows keep their aggregation order, so two reports
+    produced from the same seeds diff cleanly — including across
+    ``--jobs`` settings.
+    """
+
+    payload = json.dumps(
+        [result.as_dict() for result in results], indent=indent, sort_keys=True
+    )
+    if path == "-":
+        print(payload)
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload + "\n")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -61,13 +103,35 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--scale", type=int, default=1, help="sweep size multiplier")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per sweep (results are identical for any value)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="base seed overriding each experiment's default"
+    )
+    parser.add_argument(
         "--markdown", metavar="PATH", help="also write a Markdown report to PATH"
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write machine-readable results to PATH ('-' for stdout)",
+    )
     args = parser.parse_args(argv)
-    results = run_many(args.experiments or None, scale=args.scale)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    results = run_many(
+        args.experiments or None, scale=args.scale, seed=args.seed, jobs=args.jobs
+    )
     if args.markdown:
         write_markdown_report(results, args.markdown)
         print(f"markdown report written to {args.markdown}")
+    if args.json:
+        write_json_report(results, args.json)
+        if args.json != "-":
+            print(f"json report written to {args.json}")
     return 0
 
 

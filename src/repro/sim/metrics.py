@@ -133,3 +133,19 @@ class RunMetrics:
             "decisions": len(self.decision_rounds()),
             "last_decision_round": self.latest_decision_round(),
         }
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable dump (summary plus per-round counters).
+
+        Used by the machine-readable result paths of the harness so run
+        metrics can be archived and diffed alongside aggregated rows.
+        """
+
+        return {
+            "summary": self.summary(),
+            "per_round": [r.as_dict() for r in self.rounds],
+            "per_node_sent": {str(k): int(v) for k, v in sorted(self.per_node_sent.items())},
+            "per_node_delivered": {
+                str(k): int(v) for k, v in sorted(self.per_node_delivered.items())
+            },
+        }

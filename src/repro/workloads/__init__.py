@@ -1,4 +1,9 @@
-"""Workload construction: identifiers, inputs, adversary placement, systems."""
+"""Workload primitives: identifiers, inputs, adversary placement, networks.
+
+The ``*_system`` helpers re-exported here are deprecated shims; build a
+:class:`repro.api.ScenarioSpec` and use :func:`repro.api.run_scenario` or
+:func:`repro.api.build_system` instead.
+"""
 
 from .generators import (
     SystemSpec,

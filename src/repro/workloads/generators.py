@@ -1,15 +1,24 @@
-"""Workload generators: identifiers, inputs, adversary placement, networks.
+"""Workload primitives: identifiers, inputs, and network assembly.
 
 The experiments and the integration tests all construct simulated systems
 the same way: pick a set of sparse (non-consecutive) identifiers, decide
 which of them are Byzantine, instantiate the protocol processes for the
 correct nodes and an adversary strategy for each Byzantine node, and wire
 everything into a :class:`~repro.sim.network.SynchronousNetwork`.  This
-module is the single place where that assembly logic lives.
+module holds those primitives (:func:`sparse_ids`, :func:`build_network`,
+:class:`SystemSpec`, …).
+
+The per-protocol ``*_system`` helpers that used to live here are now thin
+**deprecated shims** over the declarative :mod:`repro.api` layer: construct
+a :class:`repro.api.ScenarioSpec` and call :func:`repro.api.build_system`
+(or :func:`repro.api.run_scenario`) instead.  The shims build identical
+systems for identical seeds, so existing code keeps reproducing the same
+executions while it migrates.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Sequence
 
@@ -17,13 +26,6 @@ import numpy as np
 
 from ..adversary.base import AdversaryStrategy, ByzantineProcess
 from ..adversary.registry import make_strategy
-from ..core.approximate_agreement import (
-    ApproximateAgreementProcess,
-    IteratedApproximateAgreementProcess,
-)
-from ..core.consensus import ConsensusProcess
-from ..core.reliable_broadcast import ReliableBroadcastProcess
-from ..core.rotor_coordinator import RotorCoordinatorProcess
 from ..sim.delays import DelayModel
 from ..sim.messages import NodeId
 from ..sim.network import SynchronousNetwork
@@ -170,8 +172,55 @@ def build_network(
 
 
 # ---------------------------------------------------------------------------
-# Ready-made systems for each protocol
+# Deprecated per-protocol shims (migrate to repro.api)
 # ---------------------------------------------------------------------------
+
+
+def _deprecated_shim(helper: str, protocol: str) -> None:
+    warnings.warn(
+        f"repro.workloads.{helper}() is deprecated; build a "
+        f"repro.api.ScenarioSpec(protocol={protocol!r}, ...) and use "
+        "repro.api.build_system()/run_scenario() instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _shim_build(
+    protocol: str,
+    n: int,
+    f: int,
+    *,
+    strategy: str | AdversaryStrategy | Callable[[], AdversaryStrategy] | None,
+    seed: int,
+    trace: bool,
+    inputs: str = "default",
+    input_params: dict | None = None,
+    params: dict | None = None,
+) -> SystemSpec:
+    """Route a legacy helper call through the declarative registry.
+
+    String strategies travel inside the spec; live strategy objects (which
+    are not JSON-representable) are forwarded as a build-time override.
+    """
+
+    from ..api.registry import build_system
+    from ..api.spec import ScenarioSpec
+
+    named = strategy if isinstance(strategy, str) else "silent"
+    override = None if isinstance(strategy, str) or strategy is None else strategy
+    spec = ScenarioSpec(
+        protocol=protocol,
+        n=n,
+        f=f,
+        adversary=named,
+        seed=seed,
+        trace=trace,
+        inputs=inputs,
+        input_params=input_params or {},
+        params=params or {},
+    )
+    return build_system(spec, strategy=override)
 
 
 def reliable_broadcast_system(
@@ -184,7 +233,7 @@ def reliable_broadcast_system(
     seed: int = 0,
     trace: bool = False,
 ) -> SystemSpec:
-    """Algorithm 1 workload: one designated sender, ``f`` Byzantine nodes.
+    """Deprecated: Algorithm 1 workload (use ``protocol="reliable-broadcast"``).
 
     When ``byzantine_sender`` is true the designated sender is one of the
     Byzantine nodes (the interesting case for the unforgeability and relay
@@ -192,24 +241,16 @@ def reliable_broadcast_system(
     identifier.
     """
 
-    ids = sparse_ids(n, seed=derive(seed, "ids"))
-    correct, byz = split_correct_byzantine(ids, f, seed=derive(seed, "split"))
-    if byzantine_sender and byz:
-        source = byz[0]
-    else:
-        source = correct[0]
-    spec = build_network(
-        correct_factory=lambda node: ReliableBroadcastProcess(
-            node, source=source, message=message
-        ),
-        correct_ids=correct,
-        byzantine_ids=byz,
+    _deprecated_shim("reliable_broadcast_system", "reliable-broadcast")
+    return _shim_build(
+        "reliable-broadcast",
+        n,
+        f,
         strategy=strategy,
         seed=seed,
         trace=trace,
+        params={"message": message, "byzantine_sender": byzantine_sender},
     )
-    spec.params.update({"source": source, "message": message})
-    return spec
 
 
 def rotor_coordinator_system(
@@ -220,19 +261,12 @@ def rotor_coordinator_system(
     seed: int = 0,
     trace: bool = False,
 ) -> SystemSpec:
-    """Algorithm 2 workload: every correct node runs the rotor-coordinator."""
+    """Deprecated: Algorithm 2 workload (use ``protocol="rotor-coordinator"``)."""
 
-    ids = sparse_ids(n, seed=derive(seed, "ids"))
-    correct, byz = split_correct_byzantine(ids, f, seed=derive(seed, "split"))
-    spec = build_network(
-        correct_factory=lambda node: RotorCoordinatorProcess(node, opinion=node),
-        correct_ids=correct,
-        byzantine_ids=byz,
-        strategy=strategy,
-        seed=seed,
-        trace=trace,
+    _deprecated_shim("rotor_coordinator_system", "rotor-coordinator")
+    return _shim_build(
+        "rotor-coordinator", n, f, strategy=strategy, seed=seed, trace=trace
     )
-    return spec
 
 
 def consensus_system(
@@ -246,30 +280,28 @@ def consensus_system(
     trace: bool = False,
     substitution: str = "narrow",
 ) -> SystemSpec:
-    """Algorithm 3 workload with binary (or caller-supplied) inputs.
+    """Deprecated: Algorithm 3 workload (use ``protocol="consensus"``).
 
     ``substitution`` is forwarded to :class:`ConsensusProcess`; the
     non-default ``"broad"`` value exists only for the A1 ablation.
     """
 
-    ids = sparse_ids(n, seed=derive(seed, "ids"))
-    correct, byz = split_correct_byzantine(ids, f, seed=derive(seed, "split"))
+    _deprecated_shim("consensus_system", "consensus")
     if inputs is None:
-        inputs = binary_inputs(
-            correct, ones_fraction=ones_fraction, seed=derive(seed, "inputs")
-        )
-    spec = build_network(
-        correct_factory=lambda node: ConsensusProcess(
-            node, input_value=inputs[node], substitution=substitution
-        ),
-        correct_ids=correct,
-        byzantine_ids=byz,
+        kind, options = "binary", {"ones_fraction": ones_fraction}
+    else:
+        kind, options = "explicit", {"values": dict(inputs)}
+    return _shim_build(
+        "consensus",
+        n,
+        f,
         strategy=strategy,
         seed=seed,
         trace=trace,
+        inputs=kind,
+        input_params=options,
+        params={"substitution": substitution},
     )
-    spec.params.update({"inputs": dict(inputs)})
-    return spec
 
 
 def approximate_agreement_system(
@@ -284,32 +316,26 @@ def approximate_agreement_system(
     seed: int = 0,
     trace: bool = False,
 ) -> SystemSpec:
-    """Algorithm 4 workload with real-valued inputs.
+    """Deprecated: Algorithm 4 workload (use ``protocol="approximate-agreement"``).
 
     ``iterations == 1`` builds the single-shot Algorithm 4; larger values
     build the iterated variant used for the convergence experiment E4 and
     the dynamic-network experiment E10.
     """
 
-    ids = sparse_ids(n, seed=derive(seed, "ids"))
-    correct, byz = split_correct_byzantine(ids, f, seed=derive(seed, "split"))
+    _deprecated_shim("approximate_agreement_system", "approximate-agreement")
     if inputs is None:
-        inputs = real_inputs(correct, low=low, high=high, seed=derive(seed, "inputs"))
-
-    def factory(node: NodeId) -> Process:
-        if iterations <= 1:
-            return ApproximateAgreementProcess(node, input_value=inputs[node])
-        return IteratedApproximateAgreementProcess(
-            node, input_value=inputs[node], iterations=iterations
-        )
-
-    spec = build_network(
-        correct_factory=factory,
-        correct_ids=correct,
-        byzantine_ids=byz,
+        kind, options = "real", {"low": low, "high": high}
+    else:
+        kind, options = "explicit", {"values": dict(inputs)}
+    return _shim_build(
+        "approximate-agreement",
+        n,
+        f,
         strategy=strategy,
         seed=seed,
         trace=trace,
+        inputs=kind,
+        input_params=options,
+        params={"iterations": iterations},
     )
-    spec.params.update({"inputs": dict(inputs), "iterations": iterations})
-    return spec

@@ -3,17 +3,21 @@
 from __future__ import annotations
 
 import io
+import json
 
 import pytest
 
 from repro.harness import (
     EXPERIMENTS,
+    ExperimentDefinition,
     ExperimentResult,
     all_experiment_ids,
     run_experiment,
     run_many,
+    write_json_report,
     write_markdown_report,
 )
+from repro.harness.runner import main
 
 
 class TestRegistry:
@@ -23,6 +27,13 @@ class TestRegistry:
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
             run_experiment("E99")
+
+    def test_experiments_are_declarative_definitions(self):
+        for definition in EXPERIMENTS.values():
+            assert isinstance(definition, ExperimentDefinition)
+            sweeps = definition.sweeps(1, definition.default_seed)
+            assert sweeps, definition.experiment_id
+            assert definition.group_by and definition.metrics
 
 
 class TestExperimentResult:
@@ -68,3 +79,39 @@ class TestSmallScaleRuns:
         report = tmp_path / "report.md"
         write_markdown_report(results, str(report))
         assert report.read_text().startswith("# Reproduction results")
+
+    def test_run_many_forwards_seed(self):
+        stream = io.StringIO()
+        first = run_many(["E6"], seed=123, stream=stream)
+        second = run_many(["E6"], seed=123, stream=stream)
+        assert first[0].to_json() == second[0].to_json()
+        # The forwarded seed must actually re-draw the sweep: the derived
+        # per-scenario seeds differ from the default-seed run.
+        definition = EXPERIMENTS["E6"]
+        default_scenarios = [
+            spec.seed for sweep in definition.sweeps(1, definition.default_seed)
+            for spec in sweep.scenarios()
+        ]
+        seeded_scenarios = [
+            spec.seed for sweep in definition.sweeps(1, 123)
+            for spec in sweep.scenarios()
+        ]
+        assert default_scenarios != seeded_scenarios
+
+    def test_json_report_round_trips(self, tmp_path):
+        results = run_many(["E6"], stream=io.StringIO())
+        report = tmp_path / "results.json"
+        write_json_report(results, str(report))
+        payload = json.loads(report.read_text())
+        assert payload[0]["experiment_id"] == "E6"
+        assert payload[0]["rows"]
+        assert json.loads(results[0].to_json())["rows"] == payload[0]["rows"]
+
+    def test_cli_json_and_jobs(self, tmp_path, capsys):
+        report = tmp_path / "cli.json"
+        assert main(["E6", "--jobs", "2", "--json", str(report)]) == 0
+        payload = json.loads(report.read_text())
+        assert [entry["experiment_id"] for entry in payload] == ["E6"]
+        sequential = run_experiment("E6", jobs=1)
+        assert payload[0]["rows"] == json.loads(sequential.to_json())["rows"]
+        capsys.readouterr()  # swallow the CLI's table output
