@@ -161,18 +161,34 @@ class ProtocolRegistry:
 
     # -- building -----------------------------------------------------------
 
-    def build(self, spec: ScenarioSpec, *, strategy: object = None) -> SystemSpec:
+    def build(
+        self,
+        spec: ScenarioSpec,
+        *,
+        strategy: object = None,
+        engine: str | None = None,
+    ) -> SystemSpec:
         """Assemble the simulated system described by ``spec``.
 
         ``strategy`` optionally overrides ``spec.adversary`` with a live
         :class:`AdversaryStrategy` instance (used by the deprecated shims);
         normally the spec's registered strategy name is used.
+
+        ``engine`` optionally forces a specific round-loop kernel
+        (``"fast"``/``"queue"``/``"legacy"``, see
+        :class:`repro.sim.network.SynchronousNetwork`).  All kernels
+        produce bit-identical executions; the default ``None`` leaves the
+        network on ``"auto"``, which picks the fast synchronous path
+        whenever the spec's delay model allows it.
         """
 
         info = self.info(spec.protocol)
         self._check_supported(spec, info)
         effective = strategy if strategy is not None else spec.adversary
-        return info.builder(spec, effective)
+        system = info.builder(spec, effective)
+        if engine is not None:
+            system.network.set_engine(engine)
+        return system
 
     @staticmethod
     def _check_supported(spec: ScenarioSpec, info: ProtocolInfo) -> None:
@@ -205,10 +221,12 @@ REGISTRY = ProtocolRegistry()
 register_protocol = REGISTRY.register
 
 
-def build_system(spec: ScenarioSpec, *, strategy: object = None) -> SystemSpec:
+def build_system(
+    spec: ScenarioSpec, *, strategy: object = None, engine: str | None = None
+) -> SystemSpec:
     """Module-level alias for :meth:`ProtocolRegistry.build` on :data:`REGISTRY`."""
 
-    return REGISTRY.build(spec, strategy=strategy)
+    return REGISTRY.build(spec, strategy=strategy, engine=engine)
 
 
 def available_protocols(*, include_baselines: bool = True) -> list[str]:

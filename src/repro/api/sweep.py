@@ -33,6 +33,7 @@ from .spec import ScenarioSpec
 
 __all__ = [
     "ScenarioOutcome",
+    "resolve_stop",
     "run_scenario",
     "SweepSpec",
     "SweepRunner",
@@ -102,24 +103,46 @@ class ScenarioOutcome:
         }
 
 
-def run_scenario(spec: ScenarioSpec, *, strategy: object = None) -> ScenarioOutcome:
-    """Build the system for ``spec``, run it under its run policy, return it."""
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    strategy: object = None,
+    engine: str | None = None,
+) -> ScenarioOutcome:
+    """Build the system for ``spec``, run it under its run policy, return it.
+
+    ``engine`` optionally forces a round-loop kernel (``"fast"``/
+    ``"queue"``/``"legacy"``); the kernels are bit-identical, so this only
+    matters for benchmarking and for the engine-equivalence suite.
+    """
 
     info = REGISTRY.info(spec.protocol)
-    system = REGISTRY.build(spec, strategy=strategy)
+    system = REGISTRY.build(spec, strategy=strategy, engine=engine)
     max_rounds = (
         spec.max_rounds if spec.max_rounds is not None else info.default_max_rounds(spec)
     )
-    stop_kind = info.default_stop if spec.stop == "default" else spec.stop
-    stop_when: Callable | None
-    if stop_kind == "decided":
-        stop_when = None  # the network's default: every correct node decided
-    elif stop_kind == "halted":
-        stop_when = all_correct_halted
-    else:  # "never": run the full round budget
-        stop_when = _never_stop
-    result = system.network.run(max_rounds=max_rounds, stop_when=stop_when)
+    result = system.network.run(
+        max_rounds=max_rounds, stop_when=resolve_stop(spec, info)
+    )
     return ScenarioOutcome(spec=spec, system=system, result=result)
+
+
+def resolve_stop(spec: ScenarioSpec, info=None) -> Callable | None:
+    """The ``stop_when`` callable a spec's run policy implies.
+
+    Shared by :func:`run_scenario` and the benchmarks so both always run
+    the same executions.  ``info`` defaults to the registry entry for the
+    spec's protocol; a returned ``None`` means the network's default stop
+    condition (every correct node decided).
+    """
+
+    info = info or REGISTRY.info(spec.protocol)
+    stop_kind = info.default_stop if spec.stop == "default" else spec.stop
+    if stop_kind == "decided":
+        return None  # the network's default: every correct node decided
+    if stop_kind == "halted":
+        return all_correct_halted
+    return _never_stop  # "never": run the full round budget
 
 
 def _never_stop(network) -> bool:
@@ -250,15 +273,15 @@ def _default_row(outcome: ScenarioOutcome) -> dict:
     return outcome.summary_row()
 
 
-def _run_case(payload: tuple[dict, RowFn]) -> dict:
+def _run_case(payload: tuple[dict, RowFn, str | None]) -> dict:
     """Worker entry point: rebuild the spec, run it, extract the row.
 
     Executed in worker processes, so it only receives (and returns) plain,
     picklable values; ``row_fn`` must be a module-level function.
     """
 
-    spec_dict, row_fn = payload
-    outcome = run_scenario(ScenarioSpec.from_dict(spec_dict))
+    spec_dict, row_fn, engine = payload
+    outcome = run_scenario(ScenarioSpec.from_dict(spec_dict), engine=engine)
     return row_fn(outcome)
 
 
@@ -269,12 +292,18 @@ class SweepRunner:
     Rows come back in scenario-expansion order regardless of ``jobs``, and
     every scenario owns a derived seed, so parallel runs are bit-identical
     to sequential ones.
+
+    ``engine`` optionally forces the round-loop kernel every scenario runs
+    on (see :class:`repro.sim.network.SynchronousNetwork`); the kernels
+    are result-identical, so this knob exists for benchmarking and for the
+    equivalence suite, not for changing what a sweep measures.
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(self, jobs: int = 1, *, engine: str | None = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
+        self.engine = engine
 
     def run(
         self,
@@ -288,7 +317,7 @@ class SweepRunner:
             sweeps = [sweeps]
         scenarios = [spec for sweep in sweeps for spec in sweep.scenarios()]
         extract = row_fn or _default_row
-        payloads = [(spec.to_dict(), extract) for spec in scenarios]
+        payloads = [(spec.to_dict(), extract, self.engine) for spec in scenarios]
         if self.jobs == 1 or len(payloads) <= 1:
             return [_run_case(payload) for payload in payloads]
         workers = min(self.jobs, len(payloads), os.cpu_count() or 1)
@@ -326,13 +355,14 @@ def run_sweep(
     sweep: SweepSpec | Sequence[SweepSpec],
     *,
     jobs: int = 1,
+    engine: str | None = None,
     row_fn: RowFn | None = None,
     group_by: Sequence[str] | None = None,
     metrics: Sequence[str] | None = None,
 ) -> list[dict]:
     """Convenience wrapper: raw rows, or aggregated when grouping is given."""
 
-    runner = SweepRunner(jobs=jobs)
+    runner = SweepRunner(jobs=jobs, engine=engine)
     if (group_by is None) != (metrics is None):
         raise ValueError("group_by and metrics must be provided together")
     if group_by is None:

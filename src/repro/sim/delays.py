@@ -32,6 +32,15 @@ __all__ = [
 ]
 
 
+def _index_groups(
+    groups: tuple[frozenset[NodeId], ...],
+) -> dict[NodeId, int]:
+    """``node -> group index`` lookup; delivery is per-message, so the
+    group membership scan must not be linear in the number of groups."""
+
+    return {node: index for index, group in enumerate(groups) for node in group}
+
+
 class DelayModel(abc.ABC):
     """Assigns a delivery round to every message."""
 
@@ -116,12 +125,10 @@ class BoundedUnknownDelay(DelayModel):
         if self.delta < 1:
             raise ValueError("delta must be at least 1")
         self.groups = tuple(frozenset(g) for g in self.groups)
+        self._group_index = _index_groups(self.groups)
 
     def _group_of(self, node: NodeId) -> int:
-        for index, group in enumerate(self.groups):
-            if node in group:
-                return index
-        return -1
+        return self._group_index.get(node, -1)
 
     def delivery_round(
         self,
@@ -151,12 +158,10 @@ class PartitionDelay(DelayModel):
 
     def __post_init__(self) -> None:
         self.groups = tuple(frozenset(g) for g in self.groups)
+        self._group_index = _index_groups(self.groups)
 
     def _group_of(self, node: NodeId) -> int:
-        for index, group in enumerate(self.groups):
-            if node in group:
-                return index
-        return -1
+        return self._group_index.get(node, -1)
 
     def delivery_round(
         self,

@@ -95,19 +95,31 @@ class Inbox:
     discarded".
     """
 
-    __slots__ = ("_by_sender",)
+    __slots__ = ("_by_sender", "_size")
 
     def __init__(self, by_sender: Mapping[NodeId, Iterable[Payload]] | None = None):
         collapsed: dict[NodeId, tuple[Payload, ...]] = {}
         if by_sender:
             for sender, payloads in by_sender.items():
-                seen: list[Payload] = []
-                for payload in payloads:
-                    if payload not in seen:
-                        seen.append(payload)
+                if not isinstance(payloads, (list, tuple)):
+                    # the fallback below re-iterates, so a one-shot iterator
+                    # must be materialised before the first attempt
+                    payloads = list(payloads)
+                try:
+                    # Payloads are hashable by contract, so first-occurrence
+                    # deduplication is a dict build rather than a quadratic
+                    # membership scan over the per-sender list.
+                    seen = tuple(dict.fromkeys(payloads))
+                except TypeError:
+                    unique: list[Payload] = []
+                    for payload in payloads:
+                        if payload not in unique:
+                            unique.append(payload)
+                    seen = tuple(unique)
                 if seen:
-                    collapsed[sender] = tuple(seen)
+                    collapsed[sender] = seen
         self._by_sender = collapsed
+        self._size = -1
 
     # -- basic accessors -------------------------------------------------
 
@@ -130,7 +142,11 @@ class Inbox:
                 yield sender, payload
 
     def __len__(self) -> int:
-        return sum(len(p) for p in self._by_sender.values())
+        size = self._size
+        if size < 0:
+            size = sum(len(p) for p in self._by_sender.values())
+            self._size = size
+        return size
 
     def __bool__(self) -> bool:
         return bool(self._by_sender)

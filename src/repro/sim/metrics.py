@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from .messages import NodeId
 
@@ -84,6 +84,24 @@ class RunMetrics:
             return
         self.rounds[-1].messages_delivered += count
         self.per_node_delivered[node_id] += count
+
+    def record_deliveries(self, counts: Iterable[tuple[NodeId, int]]) -> None:
+        """Commit one round of delivery counters in bulk.
+
+        Equivalent to calling :meth:`record_delivery` once per ``(node,
+        count)`` pair, in order — including registering nodes whose count is
+        zero — but with a single round-counter update.  The fast and queue
+        engines use this once per round instead of once per process.
+        """
+
+        if not self.rounds:
+            return
+        per_node = self.per_node_delivered
+        total = 0
+        for node_id, count in counts:
+            total += count
+            per_node[node_id] += count
+        self.rounds[-1].messages_delivered += total
 
     def record_decision(self, node_id: NodeId, round_index: int, value: Any) -> None:
         self.decisions.append(DecisionRecord(node_id, round_index, value))

@@ -16,19 +16,67 @@ The engine is intentionally single-threaded and deterministic: given the
 same processes, adversary strategies, delay model and seed, a run produces
 exactly the same trace.  Determinism is what lets the experiment harness
 treat every (configuration, seed) pair as a reproducible data point.
+
+Engine architecture
+-------------------
+The round loop runs on one of three interchangeable kernels, all of which
+produce bit-identical traces, metrics and outputs (guarded by
+``tests/test_engine_equivalence.py``):
+
+``fast``
+    The synchronous fast path.  When every message is delivered exactly one
+    round later (:class:`~repro.sim.delays.SynchronousDelay`), there is no
+    need for a delivery queue at all: the messages sent in round ``r`` *are*
+    the inboxes of round ``r + 1``.  Sends are staged as per-sender batches
+    — one interned ``(sender, payload, destinations)`` record per action
+    instead of one :class:`~repro.sim.messages.Envelope` per (message,
+    destination) pair — and materialised into inboxes at the start of the
+    next round.  When a round consists solely of broadcasts (the common
+    case for the paper's algorithms), every recipient sees the same
+    messages, so a single shared :class:`~repro.sim.messages.Inbox` is
+    built once and handed to all of them.  Membership churn is handled by
+    filtering each batch's recorded destinations against the active set at
+    delivery time, exactly like the queued engines do per envelope.
+
+``queue``
+    The general path for arbitrary delay models.  Envelopes are bucketed
+    by delivery round (``dict[deliver_round, list[Envelope]]``), so each
+    round pops exactly the envelopes that are due instead of rescanning
+    every pending envelope (the pre-bucketing engine was ``O(pending)``
+    per round, which is quadratic for long-delay models).
+
+``legacy``
+    A faithful copy of the original single-list engine, kept as the
+    reference oracle for the equivalence suite and as the baseline for
+    ``benchmarks/bench_scaling.py``.  Do not use it for real workloads.
+
+Engine selection is ``engine="auto"`` by default — ``fast`` when the delay
+model reports :attr:`~repro.sim.delays.DelayModel.synchronous`, ``queue``
+otherwise.  The ``REPRO_ENGINE`` environment variable overrides ``auto``
+(useful for A/B benchmarking whole sweeps without touching call sites);
+an explicit non-auto constructor argument always wins.
+
+Shared by the ``fast`` and ``queue`` kernels (but deliberately *not* by
+``legacy``): the sorted active-membership list and the Byzantine id set
+are cached and invalidated only on membership events (the old engine
+re-sorted the active set for every single broadcast), the omniscient
+:class:`SystemView` is built lazily and only when a Byzantine process is
+scheduled, and per-round delivery counters are committed to
+:class:`~repro.sim.metrics.RunMetrics` in one bulk call.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from .delays import DelayModel, SynchronousDelay
 from .errors import (
+    ConfigurationError,
     DuplicateNodeError,
-    HaltedProcessError,
     InvalidOutgoingError,
     MembershipError,
     RoundLimitExceeded,
@@ -39,7 +87,20 @@ from .metrics import RunMetrics
 from .node import Process, RoundView
 from .rng import make_rng
 
-__all__ = ["SystemView", "RunResult", "SynchronousNetwork", "all_correct_decided", "all_correct_halted"]
+__all__ = [
+    "ENGINE_CHOICES",
+    "SystemView",
+    "RunResult",
+    "SynchronousNetwork",
+    "all_correct_decided",
+    "all_correct_halted",
+]
+
+#: Valid values for the ``engine`` constructor argument / ``REPRO_ENGINE``.
+ENGINE_CHOICES = ("auto", "fast", "queue", "legacy")
+
+#: Environment variable overriding ``engine="auto"`` for every network.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
 
 
 @dataclass(frozen=True)
@@ -154,6 +215,11 @@ class SynchronousNetwork:
         Optional mapping ``round -> iterable of node ids`` removed at the
         start of that round.  Used by churn schedules; protocol-level
         "absent" announcements are the protocol's own business.
+    engine:
+        Round-loop kernel: one of :data:`ENGINE_CHOICES`.  ``"auto"`` (the
+        default) picks ``fast`` for synchronous delay models and ``queue``
+        otherwise; the ``REPRO_ENGINE`` environment variable overrides
+        ``auto``.  All engines produce bit-identical results.
     """
 
     def __init__(
@@ -165,8 +231,10 @@ class SynchronousNetwork:
         trace: bool = False,
         joins: Mapping[int, Iterable[Process]] | None = None,
         leaves: Mapping[int, Iterable[NodeId]] | None = None,
+        engine: str = "auto",
     ) -> None:
         self._processes: dict[NodeId, Process] = {}
+        self._correct_map: dict[NodeId, Process] = {}
         for process in processes:
             self._register(process)
         self._active: set[NodeId] = set(self._processes)
@@ -174,7 +242,6 @@ class SynchronousNetwork:
         self._rng = make_rng(seed)
         self._trace = Trace(enabled=trace)
         self._metrics = RunMetrics()
-        self._pending: list[Envelope] = []
         self._round = 0
         self._decided_seen: set[NodeId] = set()
         self._joins: dict[int, list[Process]] = {
@@ -183,6 +250,64 @@ class SynchronousNetwork:
         self._leaves: dict[int, list[NodeId]] = {
             int(r): list(ids) for r, ids in (leaves or {}).items()
         }
+        # -- engine state ------------------------------------------------------
+        # queue engine: envelopes bucketed by delivery round.
+        self._bucketed: dict[int, list[Envelope]] = {}
+        # fast engine: per-sender batches staged for the next round, plus the
+        # common destination tuple when the round was broadcast-only.
+        self._staged: list[tuple[NodeId, Any, tuple[NodeId, ...]]] | None = None
+        self._staged_shared: tuple[NodeId, ...] | None = None
+        # legacy engine: the original flat pending list.
+        self._legacy_pending: list[Envelope] = []
+        # membership caches (fast/queue engines only; see module docstring).
+        self._sorted_cache: tuple[NodeId, ...] | None = None
+        self._byz_cache: frozenset[NodeId] | None = None
+        #: Number of times the sorted-membership cache was rebuilt.  The old
+        #: engine re-sorted up to ``2 + broadcasts`` times per round; the
+        #: regression test pins this to one rebuild per membership event.
+        self.sorted_rebuilds = 0
+        self._engine = "auto"
+        env = os.environ.get(ENGINE_ENV_VAR, "").strip()
+        if engine == "auto" and env:
+            if env == "fast" and not self._delay_model.synchronous:
+                # The env override A/B-tests whole sweeps; networks the fast
+                # kernel cannot drive (delayed delivery) stay on auto rather
+                # than crashing the sweep.  Unknown names still fail loudly.
+                pass
+            else:
+                engine = env
+        self.set_engine(engine)
+
+    # -- engine selection --------------------------------------------------------
+
+    @property
+    def engine(self) -> str:
+        """The configured kernel (possibly ``"auto"``)."""
+
+        return self._engine
+
+    def set_engine(self, engine: str) -> None:
+        """Select the round-loop kernel; only allowed before round 1."""
+
+        if engine not in ENGINE_CHOICES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; choose from {', '.join(ENGINE_CHOICES)}"
+            )
+        if engine == "fast" and not self._delay_model.synchronous:
+            raise ConfigurationError(
+                "the fast engine requires a synchronous delay model; "
+                "use engine='queue' (or 'auto') for delayed delivery"
+            )
+        if self._round > 0 and engine != self._engine:
+            raise ConfigurationError("cannot switch engines after the run started")
+        self._engine = engine
+
+    def resolved_engine(self) -> str:
+        """The kernel that actually runs (``auto`` resolved)."""
+
+        if self._engine != "auto":
+            return self._engine
+        return "fast" if self._delay_model.synchronous else "queue"
 
     # -- registration / membership ----------------------------------------------
 
@@ -190,6 +315,12 @@ class SynchronousNetwork:
         if process.node_id in self._processes:
             raise DuplicateNodeError(process.node_id)
         self._processes[process.node_id] = process
+        if not process.is_byzantine:
+            self._correct_map[process.node_id] = process
+
+    def _invalidate_membership(self) -> None:
+        self._sorted_cache = None
+        self._byz_cache = None
 
     def add_process(self, process: Process, *, at_round: int | None = None) -> None:
         """Add a participant, immediately or at the start of ``at_round``."""
@@ -197,6 +328,7 @@ class SynchronousNetwork:
         if at_round is None or at_round <= self._round:
             self._register(process)
             self._active.add(process.node_id)
+            self._invalidate_membership()
         else:
             self._joins.setdefault(at_round, []).append(process)
 
@@ -207,10 +339,12 @@ class SynchronousNetwork:
             if node_id not in self._processes:
                 raise MembershipError(f"cannot remove unknown node {node_id}")
             self._active.discard(node_id)
+            self._invalidate_membership()
         else:
             self._leaves.setdefault(at_round, []).append(node_id)
 
     def _apply_membership_changes(self, round_index: int) -> None:
+        changed = False
         for process in self._joins.pop(round_index, []):
             if process.node_id in self._processes:
                 raise MembershipError(
@@ -218,6 +352,7 @@ class SynchronousNetwork:
                 )
             self._register(process)
             self._active.add(process.node_id)
+            changed = True
             self._trace.record(
                 TraceEvent(EventKind.NODE_JOINED, round_index, node_id=process.node_id)
             )
@@ -227,9 +362,12 @@ class SynchronousNetwork:
                     f"node {node_id} left without ever joining (round {round_index})"
                 )
             self._active.discard(node_id)
+            changed = True
             self._trace.record(
                 TraceEvent(EventKind.NODE_LEFT, round_index, node_id=node_id)
             )
+        if changed:
+            self._invalidate_membership()
 
     # -- introspection -------------------------------------------------------------
 
@@ -259,24 +397,315 @@ class SynchronousNetwork:
         return frozenset(self._active)
 
     def byzantine_ids(self) -> frozenset[NodeId]:
-        return frozenset(
-            i for i in self._active if self._processes[i].is_byzantine
-        )
+        cache = self._byz_cache
+        if cache is None:
+            cache = frozenset(
+                i for i in self._active if self._processes[i].is_byzantine
+            )
+            self._byz_cache = cache
+        return cache
 
     def correct_processes(self) -> list[Process]:
         return [
             self._processes[i]
-            for i in sorted(self._active)
+            for i in self._active_sorted()
             if not self._processes[i].is_byzantine
         ]
 
     def active_correct_processes(self) -> list[Process]:
         return [p for p in self.correct_processes() if not p.halted]
 
+    def pending_messages(self) -> int:
+        """Number of messages in flight, whichever engine is running."""
+
+        count = len(self._legacy_pending)
+        count += sum(len(bucket) for bucket in self._bucketed.values())
+        if self._staged:
+            count += sum(len(dests) for _, _, dests in self._staged)
+        return count
+
+    def _active_sorted(self) -> tuple[NodeId, ...]:
+        cache = self._sorted_cache
+        if cache is None:
+            cache = tuple(sorted(self._active))
+            self._sorted_cache = cache
+            self.sorted_rebuilds += 1
+        return cache
+
     # -- the round loop --------------------------------------------------------------
 
     def step_round(self) -> None:
         """Execute exactly one round."""
+
+        engine = self.resolved_engine()
+        if engine == "legacy":
+            self._step_round_legacy()
+            return
+        self._round += 1
+        round_index = self._round
+        self._apply_membership_changes(round_index)
+        round_metrics = self._metrics.start_round(round_index)
+        self._trace.record(TraceEvent(EventKind.ROUND_START, round_index))
+
+        # 1. Deliver messages scheduled for this round.
+        if engine == "fast":
+            inboxes = self._deliver_staged(round_index)
+        else:
+            inboxes = self._deliver_bucketed(round_index)
+
+        # 2. Step every active process.
+        outgoing_by_node = self._step_processes(round_index, round_metrics, inboxes)
+
+        # 3. Schedule the outgoing messages.
+        if engine == "fast":
+            self._stage_outgoing(outgoing_by_node, round_index)
+        else:
+            for node_id, actions in outgoing_by_node.items():
+                for action in actions:
+                    self._schedule(node_id, action, round_index)
+
+    # -- delivery (fast engine) ----------------------------------------------------
+
+    def _deliver_staged(self, round_index: int) -> dict[NodeId, Inbox]:
+        """Turn last round's staged batches into this round's inboxes."""
+
+        staged, shared = self._staged, self._staged_shared
+        self._staged = None
+        self._staged_shared = None
+        if not staged:
+            return {}
+        active = self._active
+        trace = self._trace
+        if trace.enabled:
+            record = trace.record
+            for sender, payload, dests in staged:
+                for dest in dests:
+                    if dest in active:
+                        record(
+                            TraceEvent(
+                                EventKind.MESSAGE_DELIVERED,
+                                round_index,
+                                node_id=dest,
+                                peer_id=sender,
+                                payload=payload,
+                            )
+                        )
+        if shared is not None:
+            # Broadcast-only round: every recipient sees the same messages,
+            # so one Inbox serves all of them.
+            inbox = Inbox.from_pairs([(s, p) for s, p, _ in staged])
+            return {dest: inbox for dest in shared if dest in active}
+        pairs_by_dest: dict[NodeId, list[tuple[NodeId, Any]]] = {}
+        for sender, payload, dests in staged:
+            pair = (sender, payload)
+            for dest in dests:
+                if dest in active:
+                    bucket = pairs_by_dest.get(dest)
+                    if bucket is None:
+                        pairs_by_dest[dest] = bucket = []
+                    bucket.append(pair)
+        processes = self._processes
+        return {
+            dest: Inbox.from_pairs(pairs)
+            for dest, pairs in pairs_by_dest.items()
+            if not processes[dest].halted
+        }
+
+    def _stage_outgoing(
+        self,
+        outgoing_by_node: dict[NodeId, Sequence[Outgoing]],
+        round_index: int,
+    ) -> None:
+        """Record this round's sends as batches for next round's delivery."""
+
+        staged: list[tuple[NodeId, Any, tuple[NodeId, ...]]] = []
+        broadcast_only = True
+        broadcast_dests: tuple[NodeId, ...] | None = None
+        trace = self._trace
+        record_send = self._metrics.record_send
+        for node_id, actions in outgoing_by_node.items():
+            for action in actions:
+                if isinstance(action, Broadcast):
+                    # Membership cannot change while staging, so every
+                    # broadcast in the round shares one destination tuple.
+                    dests = self._active_sorted()
+                    broadcast_dests = dests
+                    record_send(node_id, len(dests), broadcast=True)
+                elif isinstance(action, Unicast):
+                    dests = (action.dest,)
+                    broadcast_only = False
+                    record_send(node_id, 1, broadcast=False)
+                else:
+                    raise InvalidOutgoingError(node_id, action)
+                staged.append((node_id, action.payload, dests))
+                if trace.enabled:
+                    for dest in dests:
+                        trace.record(
+                            TraceEvent(
+                                EventKind.MESSAGE_SENT,
+                                round_index,
+                                node_id=node_id,
+                                peer_id=dest,
+                                payload=action.payload,
+                            )
+                        )
+        self._staged = staged
+        self._staged_shared = broadcast_dests if (staged and broadcast_only) else None
+
+    # -- delivery (queue engine) ----------------------------------------------------
+
+    def _deliver_bucketed(self, round_index: int) -> dict[NodeId, Inbox]:
+        """Pop the envelope buckets that are due and build the inboxes."""
+
+        pending = self._bucketed
+        if not pending:
+            return {}
+        due_keys = [key for key in pending if key <= round_index]
+        if not due_keys:
+            return {}
+        due_keys.sort()
+        active = self._active
+        trace = self._trace
+        pairs_by_dest: dict[NodeId, list[tuple[NodeId, Any]]] = {}
+        for key in due_keys:
+            for envelope in pending.pop(key):
+                dest = envelope.dest
+                if dest not in active:
+                    continue  # the destination left before delivery
+                bucket = pairs_by_dest.get(dest)
+                if bucket is None:
+                    pairs_by_dest[dest] = bucket = []
+                bucket.append((envelope.sender, envelope.payload))
+                if trace.enabled:
+                    trace.record(
+                        TraceEvent(
+                            EventKind.MESSAGE_DELIVERED,
+                            round_index,
+                            node_id=dest,
+                            peer_id=envelope.sender,
+                            payload=envelope.payload,
+                        )
+                    )
+        processes = self._processes
+        return {
+            dest: Inbox.from_pairs(pairs)
+            for dest, pairs in pairs_by_dest.items()
+            if not processes[dest].halted
+        }
+
+    # -- stepping (fast + queue engines) ---------------------------------------------
+
+    def _step_processes(
+        self,
+        round_index: int,
+        round_metrics,
+        inboxes: dict[NodeId, Inbox],
+    ) -> dict[NodeId, Sequence[Outgoing]]:
+        active_sorted = self._active_sorted()
+        byzantine_ids = self.byzantine_ids()
+        round_metrics.active_nodes = len(active_sorted)
+        round_metrics.byzantine_nodes = len(byzantine_ids)
+        system_view: SystemView | None = None
+        outgoing_by_node: dict[NodeId, Sequence[Outgoing]] = {}
+        delivered: list[tuple[NodeId, int]] = []
+        halted_nodes = 0
+        empty = Inbox.empty()
+        processes = self._processes
+        for node_id in active_sorted:
+            process = processes[node_id]
+            if process.halted:
+                halted_nodes += 1
+                continue
+            inbox = inboxes.get(node_id, empty)
+            delivered.append((node_id, len(inbox)))
+            if process.is_byzantine and hasattr(process, "observe_system"):
+                if system_view is None:
+                    # Built lazily: rounds without scheduled Byzantine nodes
+                    # never pay for the omniscient snapshot.
+                    system_view = SystemView(
+                        round_index=round_index,
+                        active_ids=frozenset(self._active),
+                        byzantine_ids=byzantine_ids,
+                        correct_processes=dict(self._correct_map),
+                        rng=self._rng,
+                    )
+                process.observe_system(system_view)
+            outgoing = process.step(RoundView(round_index=round_index, inbox=inbox))
+            if outgoing:
+                outgoing_by_node[node_id] = outgoing
+            self._record_decision(process, round_index)
+            if process.halted:
+                self._trace.record(
+                    TraceEvent(EventKind.NODE_HALTED, round_index, node_id=node_id)
+                )
+        round_metrics.halted_nodes = halted_nodes
+        self._metrics.record_deliveries(delivered)
+        return outgoing_by_node
+
+    def _record_decision(self, process: Process, round_index: int) -> None:
+        if process.is_byzantine or process.node_id in self._decided_seen:
+            return
+        if process.decided:
+            self._decided_seen.add(process.node_id)
+            self._metrics.record_decision(process.node_id, round_index, process.output)
+            self._trace.record(
+                TraceEvent(
+                    EventKind.NODE_DECIDED,
+                    round_index,
+                    node_id=process.node_id,
+                    detail=process.output,
+                )
+            )
+
+    def _schedule(self, sender: NodeId, action: Outgoing, round_index: int) -> None:
+        if isinstance(action, Broadcast):
+            destinations = self._active_sorted()
+            self._metrics.record_send(sender, len(destinations), broadcast=True)
+            for dest in destinations:
+                self._enqueue(sender, dest, action.payload, round_index)
+        elif isinstance(action, Unicast):
+            self._metrics.record_send(sender, 1, broadcast=False)
+            self._enqueue(sender, action.dest, action.payload, round_index)
+        else:
+            raise InvalidOutgoingError(sender, action)
+
+    def _enqueue(
+        self, sender: NodeId, dest: NodeId, payload: Any, round_index: int
+    ) -> None:
+        deliver = self._delay_model.delivery_round(sender, dest, round_index, self._rng)
+        envelope = Envelope(
+            sender=sender,
+            dest=dest,
+            payload=payload,
+            sent_round=round_index,
+            deliver_round=deliver,
+        )
+        bucket = self._bucketed.get(deliver)
+        if bucket is None:
+            self._bucketed[deliver] = bucket = []
+        bucket.append(envelope)
+        self._trace.record(
+            TraceEvent(
+                EventKind.MESSAGE_SENT,
+                round_index,
+                node_id=sender,
+                peer_id=dest,
+                payload=payload,
+            )
+        )
+
+    # -- the legacy reference engine ---------------------------------------------------
+
+    def _step_round_legacy(self) -> None:
+        """The original pre-bucketing round loop, preserved verbatim.
+
+        This is the oracle the equivalence tests compare the fast and queue
+        engines against, and the baseline ``benchmarks/bench_scaling.py``
+        measures speedups from.  It deliberately keeps the original cost
+        profile: a flat pending list scanned in full every round, fresh
+        ``sorted(self._active)`` calls, per-delivery metric updates and an
+        unconditionally constructed :class:`SystemView`.
+        """
 
         self._round += 1
         round_index = self._round
@@ -287,7 +716,7 @@ class SynchronousNetwork:
         # 1. Deliver messages scheduled for this round.
         builder = InboxBuilder()
         still_pending: list[Envelope] = []
-        for envelope in self._pending:
+        for envelope in self._legacy_pending:
             if envelope.deliver_round > round_index:
                 still_pending.append(envelope)
                 continue
@@ -303,11 +732,13 @@ class SynchronousNetwork:
                     payload=envelope.payload,
                 )
             )
-        self._pending = still_pending
+        self._legacy_pending = still_pending
 
         # 2. Step every active process.
         active_ids = frozenset(self._active)
-        byzantine_ids = self.byzantine_ids()
+        byzantine_ids = frozenset(
+            i for i in self._active if self._processes[i].is_byzantine
+        )
         round_metrics.active_nodes = len(active_ids)
         round_metrics.byzantine_nodes = len(byzantine_ids)
         system_view = SystemView(
@@ -333,13 +764,6 @@ class SynchronousNetwork:
             view = RoundView(round_index=round_index, inbox=inbox)
             outgoing = process.step(view)
             if outgoing:
-                if process.halted and not process.is_byzantine:
-                    # A correct process may decide and halt in the same
-                    # round it sends its final messages; that is fine.  What
-                    # is not fine is a process that was already halted
-                    # before the round — those are filtered above — so any
-                    # remaining messages are legitimate.
-                    pass
                 outgoing_by_node[node_id] = outgoing
             self._record_decision(process, round_index)
             if process.halted:
@@ -350,40 +774,27 @@ class SynchronousNetwork:
         # 3. Schedule the outgoing messages.
         for node_id, actions in outgoing_by_node.items():
             for action in actions:
-                self._schedule(node_id, action, round_index)
+                self._schedule_legacy(node_id, action, round_index)
 
-    def _record_decision(self, process: Process, round_index: int) -> None:
-        if process.is_byzantine or process.node_id in self._decided_seen:
-            return
-        if process.decided:
-            self._decided_seen.add(process.node_id)
-            self._metrics.record_decision(process.node_id, round_index, process.output)
-            self._trace.record(
-                TraceEvent(
-                    EventKind.NODE_DECIDED,
-                    round_index,
-                    node_id=process.node_id,
-                    detail=process.output,
-                )
-            )
-
-    def _schedule(self, sender: NodeId, action: Outgoing, round_index: int) -> None:
+    def _schedule_legacy(
+        self, sender: NodeId, action: Outgoing, round_index: int
+    ) -> None:
         if isinstance(action, Broadcast):
             destinations = sorted(self._active)
             self._metrics.record_send(sender, len(destinations), broadcast=True)
             for dest in destinations:
-                self._enqueue(sender, dest, action.payload, round_index)
+                self._enqueue_legacy(sender, dest, action.payload, round_index)
         elif isinstance(action, Unicast):
             self._metrics.record_send(sender, 1, broadcast=False)
-            self._enqueue(sender, action.dest, action.payload, round_index)
+            self._enqueue_legacy(sender, action.dest, action.payload, round_index)
         else:
             raise InvalidOutgoingError(sender, action)
 
-    def _enqueue(
+    def _enqueue_legacy(
         self, sender: NodeId, dest: NodeId, payload: Any, round_index: int
     ) -> None:
         deliver = self._delay_model.delivery_round(sender, dest, round_index, self._rng)
-        self._pending.append(
+        self._legacy_pending.append(
             Envelope(
                 sender=sender,
                 dest=dest,

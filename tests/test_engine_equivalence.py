@@ -1,0 +1,187 @@
+"""Metamorphic engine-equivalence suite.
+
+The round engine runs on one of three kernels (``fast``, ``queue``,
+``legacy`` — see :mod:`repro.sim.network`).  These tests are the core
+guard for the fast path: for every registered protocol, over a grid of
+seeds, all applicable kernels must produce **bit-identical** executions —
+the same trace events in the same order, the same metrics (including
+per-node counter *insertion order*), the same outputs, the same stop
+reason.  A divergence anywhere means the fast path changed observable
+semantics, not just speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ScenarioSpec, available_protocols
+from repro.api.sweep import run_scenario
+from repro.sim import ConfigurationError, SynchronousNetwork
+from repro.sim.node import NullProcess
+
+SEEDS = (0, 1, 2)
+
+#: One representative (deliberately adversarial) scenario per registered
+#: protocol.  Churn-capable protocols get churn so the fast path's
+#: delivery-time membership filtering is exercised, not just the steady
+#: state.
+SCENARIOS = {
+    "reliable-broadcast": dict(
+        n=7, f=2, adversary="rb-equivocating-sender", params={"byzantine_sender": True}
+    ),
+    "rotor-coordinator": dict(n=5, f=1, adversary="rotor-split-echo"),
+    "consensus": dict(n=7, f=2, adversary="consensus-split-vote"),
+    "approximate-agreement": dict(n=7, f=2, adversary="approx-outlier"),
+    "iterated-approximate-agreement": dict(
+        n=7, f=2, adversary="approx-outlier", churn={"join_fraction": 0.5, "pool": 4}
+    ),
+    "parallel-consensus": dict(n=7, f=2, adversary="random-noise"),
+    "total-order": dict(
+        n=6, f=1, adversary="equivocate-value",
+        churn={"rounds": 20, "join_rate": 0.1, "leave_rate": 0.05},
+    ),
+    "srikanth-toueg-broadcast": dict(n=7, f=2, adversary="rb-false-echo"),
+    "known-f-consensus": dict(n=7, f=2, adversary="equivocate-value"),
+    "dolev-approx": dict(n=7, f=1, adversary="approx-outlier"),
+}
+
+
+def fingerprint(outcome):
+    """Everything observable about a finished run, order included."""
+
+    result = outcome.result
+    events = tuple(
+        (e.kind, e.round_index, e.node_id, e.peer_id, e.payload, e.detail)
+        for e in result.trace
+    )
+    metrics = result.metrics
+    return (
+        events,
+        metrics.as_dict(),
+        tuple(metrics.per_node_sent.items()),
+        tuple(metrics.per_node_delivered.items()),
+        tuple((d.node_id, d.round_index, d.value) for d in metrics.decisions),
+        tuple(sorted((i, p.output, p.halted) for i, p in result.processes.items())),
+        result.rounds_executed,
+        result.stop_reason,
+    )
+
+
+def test_scenario_table_covers_every_registered_protocol():
+    assert sorted(SCENARIOS) == available_protocols()
+
+
+@pytest.mark.parametrize("protocol", sorted(SCENARIOS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fast_queue_and_legacy_are_trace_identical(protocol, seed):
+    spec = ScenarioSpec(protocol=protocol, seed=seed, trace=True, **SCENARIOS[protocol])
+    prints = {
+        engine: fingerprint(run_scenario(spec, engine=engine))
+        for engine in ("fast", "queue", "legacy")
+    }
+    assert prints["fast"] == prints["legacy"]
+    assert prints["queue"] == prints["legacy"]
+
+
+@pytest.mark.parametrize(
+    "delay,delay_params",
+    [
+        ("uniform-random", {"max_delay": 3}),
+        ("bounded-unknown", {"sizes": [4, 3], "delta": 6}),
+        ("partition", {"sizes": [4, 3], "heal_round": 5}),
+    ],
+)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_queue_matches_legacy_under_delay_models(delay, delay_params, seed):
+    spec = ScenarioSpec(
+        protocol="consensus",
+        n=7,
+        f=2,
+        adversary="consensus-split-vote",
+        seed=seed,
+        trace=True,
+        delay=delay,
+        delay_params=delay_params,
+        max_rounds=25,
+    )
+    queued = fingerprint(run_scenario(spec, engine="queue"))
+    legacy = fingerprint(run_scenario(spec, engine="legacy"))
+    assert queued == legacy
+
+
+def test_auto_resolves_to_fast_only_for_synchronous_delay(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    sync = SynchronousNetwork([NullProcess(1)])
+    assert sync.resolved_engine() == "fast"
+    from repro.sim import UniformRandomDelay
+
+    delayed = SynchronousNetwork([NullProcess(1)], delay_model=UniformRandomDelay())
+    assert delayed.resolved_engine() == "queue"
+
+
+def test_fast_engine_rejects_delayed_delivery():
+    from repro.sim import UniformRandomDelay
+
+    with pytest.raises(ConfigurationError):
+        SynchronousNetwork(
+            [NullProcess(1)], delay_model=UniformRandomDelay(), engine="fast"
+        )
+    spec = ScenarioSpec(
+        protocol="consensus", n=4, f=1, delay="uniform-random", seed=0
+    )
+    with pytest.raises(ConfigurationError):
+        run_scenario(spec, engine="fast")
+
+
+def test_engine_cannot_change_mid_run():
+    net = SynchronousNetwork([NullProcess(1)], engine="fast")
+    net.step_round()
+    with pytest.raises(ConfigurationError):
+        net.set_engine("legacy")
+    net.set_engine(net.engine)  # a no-op reassignment stays allowed
+
+
+def test_unknown_engine_is_rejected():
+    with pytest.raises(ConfigurationError):
+        SynchronousNetwork([NullProcess(1)], engine="warp")
+
+
+def test_engine_env_var_overrides_auto(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "legacy")
+    net = SynchronousNetwork([NullProcess(1)])
+    assert net.resolved_engine() == "legacy"
+    # an explicit constructor choice beats the environment
+    explicit = SynchronousNetwork([NullProcess(1)], engine="queue")
+    assert explicit.resolved_engine() == "queue"
+
+
+def test_engine_env_var_fast_falls_back_for_delayed_models(monkeypatch):
+    # REPRO_ENGINE=fast A/B-tests whole sweeps; a network the fast kernel
+    # cannot drive must stay on auto instead of crashing the sweep
+    from repro.sim import UniformRandomDelay
+
+    monkeypatch.setenv("REPRO_ENGINE", "fast")
+    sync = SynchronousNetwork([NullProcess(1)])
+    assert sync.resolved_engine() == "fast"
+    delayed = SynchronousNetwork([NullProcess(1)], delay_model=UniformRandomDelay())
+    assert delayed.resolved_engine() == "queue"
+    monkeypatch.setenv("REPRO_ENGINE", "warp")
+    with pytest.raises(ConfigurationError):
+        SynchronousNetwork([NullProcess(1)])
+
+
+def test_sweep_runner_engine_is_result_identical():
+    from repro.api import SweepRunner, SweepSpec
+
+    sweep = SweepSpec(
+        protocol="consensus",
+        grid={"n": (4, 7), "adversary": ("silent", "consensus-split-vote")},
+        repetitions=2,
+        base_seed=11,
+    )
+    by_engine = {
+        engine: SweepRunner(jobs=1, engine=engine).run(sweep)
+        for engine in (None, "fast", "queue", "legacy")
+    }
+    baseline = by_engine[None]
+    assert all(rows == baseline for rows in by_engine.values())

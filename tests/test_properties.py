@@ -1,0 +1,195 @@
+"""Property-based tests (Hypothesis) over random scenarios.
+
+Rather than checking hand-picked configurations, these tests draw random
+``(n, f, seed, adversary)`` scenarios — with ``n > 3f``, the paper's
+resiliency assumption — and assert the protocol theorems' safety
+properties on every one of them: consensus agreement and validity,
+reliable-broadcast correctness and no-forgery, approximate-agreement
+range containment.  A second group checks structural invariants of the
+declarative API (``ScenarioSpec`` JSON round-trips) and the engine
+equivalence metamorphic relation on random scenarios.
+
+The suite is derandomized so CI runs are reproducible; bump
+``max_examples`` locally to fuzz harder.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.properties import (
+    approx_outputs_in_range,
+    consensus_agreement,
+    consensus_validity,
+    reliable_broadcast_correctness,
+)
+from repro.api import ScenarioSpec
+from repro.api.sweep import run_scenario
+
+COMMON = settings(
+    max_examples=15,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+@st.composite
+def populations(draw, min_n=4, max_n=10):
+    """A random ``(n, f)`` pair satisfying the paper's ``n > 3f``."""
+
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    f = draw(st.integers(min_value=0, max_value=(n - 1) // 3))
+    return n, f
+
+
+# ---------------------------------------------------------------------------
+# Protocol safety invariants
+# ---------------------------------------------------------------------------
+
+
+@COMMON
+@given(
+    nf=populations(),
+    seed=seeds,
+    adversary=st.sampled_from(
+        ["silent", "crash", "consensus-split-vote", "equivocate-value", "random-noise"]
+    ),
+    ones_fraction=st.sampled_from([0.0, 0.3, 0.5, 1.0]),
+)
+def test_consensus_agreement_and_validity(nf, seed, adversary, ones_fraction):
+    n, f = nf
+    spec = ScenarioSpec(
+        protocol="consensus",
+        n=n,
+        f=f,
+        adversary=adversary,
+        seed=seed,
+        inputs="binary",
+        input_params={"ones_fraction": ones_fraction},
+    )
+    outcome = run_scenario(spec)
+    outputs = outcome.outputs()
+    inputs = outcome.system.params["inputs"]
+    assert consensus_agreement(outputs), f"agreement violated: {outputs}"
+    assert consensus_validity(outputs, inputs), f"validity violated: {outputs}"
+
+
+@COMMON
+@given(
+    nf=populations(),
+    seed=seeds,
+    adversary=st.sampled_from(
+        ["silent", "crash", "rb-false-echo", "rb-forged-source", "replay"]
+    ),
+)
+def test_reliable_broadcast_correctness_and_no_forgery(nf, seed, adversary):
+    n, f = nf
+    spec = ScenarioSpec(
+        protocol="reliable-broadcast", n=n, f=f, adversary=adversary, seed=seed
+    )
+    outcome = run_scenario(spec)
+    procs = list(outcome.correct_processes().values())
+    message = outcome.system.params["message"]
+    source = outcome.system.params["source"]
+    # Theorem 1 correctness: every correct node accepts the correct
+    # sender's message.
+    assert reliable_broadcast_correctness(procs, message, source)
+    # No-forgery: nothing is ever accepted *from the correct source* other
+    # than what it actually broadcast, no matter what the adversary claims.
+    for proc in procs:
+        for record in proc.accepted:
+            if record.source == source:
+                assert record.message == message
+
+
+@COMMON
+@given(
+    nf=populations(),
+    seed=seeds,
+    adversary=st.sampled_from(["silent", "crash", "approx-outlier", "random-noise"]),
+)
+def test_approximate_agreement_outputs_stay_in_correct_range(nf, seed, adversary):
+    n, f = nf
+    spec = ScenarioSpec(
+        protocol="approximate-agreement", n=n, f=f, adversary=adversary, seed=seed
+    )
+    outcome = run_scenario(spec)
+    outputs = outcome.outputs()
+    inputs = outcome.system.params["inputs"]
+    assert approx_outputs_in_range(outputs, inputs), (
+        f"outputs {outputs} escaped the correct input range "
+        f"[{min(inputs.values())}, {max(inputs.values())}]"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Structural invariants
+# ---------------------------------------------------------------------------
+
+
+scenario_specs = st.builds(
+    ScenarioSpec,
+    protocol=st.sampled_from(["consensus", "reliable-broadcast", "total-order"]),
+    n=st.integers(min_value=4, max_value=50),
+    f=st.integers(min_value=0, max_value=1),
+    adversary=st.sampled_from(["silent", "crash", "replay"]),
+    seed=seeds,
+    max_rounds=st.one_of(st.none(), st.integers(min_value=1, max_value=500)),
+    inputs=st.sampled_from(["default", "binary"]),
+    input_params=st.dictionaries(
+        st.sampled_from(["ones_fraction"]), st.sampled_from([0.25, 0.5]), max_size=1
+    ),
+    params=st.dictionaries(
+        st.sampled_from(["message", "substitution"]),
+        st.sampled_from(["hello", "narrow"]),
+        max_size=2,
+    ),
+    stop=st.sampled_from(["default", "decided", "never"]),
+    trace=st.booleans(),
+)
+
+
+@COMMON
+@given(spec=scenario_specs)
+def test_scenario_spec_round_trips_through_json(spec):
+    payload = json.loads(json.dumps(spec.to_dict()))
+    restored = ScenarioSpec.from_dict(payload)
+    assert restored == spec
+    assert restored.to_dict() == spec.to_dict()
+
+
+@COMMON
+@given(
+    nf=populations(max_n=8),
+    seed=seeds,
+    protocol=st.sampled_from(
+        ["consensus", "reliable-broadcast", "approximate-agreement"]
+    ),
+    adversary=st.sampled_from(["silent", "crash", "equivocate-value"]),
+)
+def test_fast_and_queue_engines_agree_on_random_scenarios(nf, seed, protocol, adversary):
+    n, f = nf
+    spec = ScenarioSpec(
+        protocol=protocol, n=n, f=f, adversary=adversary, seed=seed, trace=True
+    )
+    outcomes = {
+        engine: run_scenario(spec, engine=engine) for engine in ("fast", "queue")
+    }
+    events = {
+        engine: [
+            (e.kind, e.round_index, e.node_id, e.peer_id, e.payload)
+            for e in outcome.result.trace
+        ]
+        for engine, outcome in outcomes.items()
+    }
+    assert events["fast"] == events["queue"]
+    assert (
+        outcomes["fast"].result.metrics.as_dict()
+        == outcomes["queue"].result.metrics.as_dict()
+    )
+    assert outcomes["fast"].outputs() == outcomes["queue"].outputs()

@@ -33,6 +33,13 @@ class TestInbox:
         inbox = Inbox.from_pairs([(1, "x"), (1, "y")])
         assert len(inbox) == 2
 
+    def test_unhashable_payloads_fall_back_without_losing_messages(self):
+        # unhashable payloads break the model's contract but must degrade to
+        # the ordered dedup scan, even when handed a one-shot iterator
+        inbox = Inbox({1: iter([[9], "a", [9]])})
+        assert inbox.payloads_from(1) == ([9], "a")
+        assert len(inbox) == 2
+
     def test_count_counts_distinct_senders_not_messages(self):
         inbox = Inbox.from_pairs([(1, "x"), (2, "x"), (2, "x"), (3, "y")])
         assert inbox.count("x") == 2

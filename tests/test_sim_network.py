@@ -7,6 +7,7 @@ import pytest
 from repro.sim import (
     Broadcast,
     DuplicateNodeError,
+    EventKind,
     MembershipError,
     NullProcess,
     PartitionDelay,
@@ -203,6 +204,124 @@ class TestDelayModels:
             r for r, pairs in net.process(0).received if any(p[1][0] == "hello" for p in pairs)
         ]
         assert received_rounds and max(received_rounds) <= 4
+
+
+class TestRoundLimit:
+    def test_round_limit_exception_carries_partial_result(self):
+        net = SynchronousNetwork([EchoOnce(i) for i in (1, 2)], trace=True)
+        with pytest.raises(RoundLimitExceeded) as excinfo:
+            net.run(max_rounds=3, raise_on_limit=True)
+        result = excinfo.value.result
+        assert excinfo.value.max_rounds == 3
+        assert result.rounds_executed == 3
+        assert result.stop_reason == "round_limit"
+        # partial progress is inspectable: the round-1 broadcasts happened
+        assert result.metrics.total_messages == 4
+        assert len(result.trace.of_kind(EventKind.ROUND_START)) == 3
+
+    def test_stop_condition_met_on_final_round_does_not_raise(self):
+        net = SynchronousNetwork([DeciderAfter(1, decide_round=5)])
+        result = net.run(max_rounds=5, raise_on_limit=True)
+        assert result.stop_reason == "stop_condition"
+        assert result.rounds_executed == 5
+
+    def test_round_limit_without_raise_flag_returns_normally(self):
+        net = SynchronousNetwork([NullProcess(1)])
+        result = net.run(max_rounds=2, raise_on_limit=False)
+        assert result.stop_reason == "round_limit"
+        assert result.metrics.total_rounds == 2
+
+
+class TestMidRunDeparture:
+    """Edge cases around nodes leaving while messages are in flight."""
+
+    def test_messages_in_flight_to_departed_node_are_dropped(self):
+        net = SynchronousNetwork([EchoOnce(1), EchoOnce(2), EchoOnce(3)])
+        net.remove_process(3, at_round=2)
+        net.step_round()  # round 1: everyone broadcasts (to 1, 2 and 3)
+        net.step_round()  # round 2: node 3 is gone before delivery
+        # the departed node never saw round 2
+        assert [r for r, _ in net.process(3).received] == [1]
+        # but its own round-1 broadcast still reached the survivors
+        assert {s for s, _ in dict(net.process(1).received)[2]} == {1, 2, 3}
+        # delivered counters only count the survivors' inboxes: 3 senders
+        # times 2 surviving destinations
+        assert net.metrics.rounds[-1].messages_delivered == 6
+
+    def test_departure_and_shared_inbox_fast_path_agree_with_legacy(self):
+        def build(engine):
+            net = SynchronousNetwork(
+                [EchoOnce(i) for i in (1, 2, 3, 4)], trace=True, engine=engine
+            )
+            net.remove_process(4, at_round=2)
+            for _ in range(3):
+                net.step_round()
+            return [
+                (e.kind, e.round_index, e.node_id, e.peer_id, e.payload)
+                for e in net.trace
+            ]
+
+        assert build("fast") == build("legacy")
+
+    def test_unicast_to_node_that_left_is_silently_dropped(self):
+        class PesterTheDeparted(Process):
+            def step(self, view):
+                if view.round_index == 1:
+                    return [Unicast(2, "hello?")]
+                return ()
+
+        for engine in ("fast", "queue", "legacy"):
+            net = SynchronousNetwork(
+                [PesterTheDeparted(1), NullProcess(2)], engine=engine
+            )
+            net.remove_process(2, at_round=2)
+            net.step_round()
+            net.step_round()
+            assert net.metrics.rounds[-1].messages_delivered == 0
+
+    def test_scheduled_leave_of_unknown_node_raises_when_due(self):
+        net = SynchronousNetwork([NullProcess(1)])
+        net.remove_process(99, at_round=2)
+        net.step_round()
+        with pytest.raises(MembershipError):
+            net.step_round()
+
+    def test_rejoin_after_leave_is_rejected(self):
+        net = SynchronousNetwork([NullProcess(1), NullProcess(2)])
+        net.step_round()
+        net.remove_process(2)
+        with pytest.raises(DuplicateNodeError):
+            net.add_process(NullProcess(2))
+
+
+class TestMembershipSortCache:
+    def test_static_membership_sorts_exactly_once(self):
+        # engine pinned: the legacy kernel deliberately bypasses the cache
+        net = SynchronousNetwork([EchoOnce(i) for i in (3, 1, 2)], engine="fast")
+        for _ in range(6):
+            net.step_round()
+        # the old engine re-sorted the active set up to 2 + broadcasts
+        # times per round; the cache makes it exactly one rebuild total
+        assert net.sorted_rebuilds == 1
+
+    def test_churn_invalidates_the_cache_once_per_event(self):
+        net = SynchronousNetwork([EchoOnce(1), EchoOnce(2)], engine="fast")
+        net.add_process(EchoOnce(3), at_round=3)
+        net.remove_process(1, at_round=5)
+        for _ in range(7):
+            net.step_round()
+        # initial build + join + leave
+        assert net.sorted_rebuilds == 3
+        assert net.active_ids() == frozenset({2, 3})
+
+    def test_cache_reflects_immediate_membership_changes(self):
+        net = SynchronousNetwork([NullProcess(1), NullProcess(3)])
+        net.step_round()
+        assert [p.node_id for p in net.correct_processes()] == [1, 3]
+        net.add_process(NullProcess(2))
+        assert [p.node_id for p in net.correct_processes()] == [1, 2, 3]
+        net.remove_process(3)
+        assert [p.node_id for p in net.correct_processes()] == [1, 2]
 
 
 class TestDeterminism:
