@@ -85,13 +85,17 @@ WORKLOADS: dict[str, dict] = {
         "params": {"k_instances": 4},
         "caps": {"queue": 250, "legacy": 250},
     },
-    # total-order's own chain/ack bookkeeping is superlinear in n (engine
-    # cost is a minority share already at n=100), so all engines are capped:
-    # beyond this the benchmark would measure the protocol, not the engine.
+    # The instance-lifecycle rewrite (quiescent decided instances, one
+    # batched PCBatch broadcast per round, inbox-memoized routing/scan
+    # indexes) uncapped the fast path: total-order completes the full
+    # sweep.  The reference engines hand every node a private inbox, so
+    # the shared-index memoisation cannot help them and their per-node
+    # routing cost stays superlinear — they remain capped (measured:
+    # queue 170 s / legacy 115 s for the n=250 cell).
     "total-order": {
         "rounds": 6,
         "churn": {"rounds": 6},
-        "caps": {"fast": 100, "queue": 100, "legacy": 100},
+        "caps": {"queue": 100, "legacy": 250},
     },
 }
 

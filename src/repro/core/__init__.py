@@ -69,6 +69,7 @@ from .total_order import (
     AckMsg,
     ChainEntry,
     EventMsg,
+    PCBatch,
     PCWrap,
     PresentMsg,
     TotalOrderProcess,
@@ -97,6 +98,7 @@ __all__ = [
     "PCOpinion",
     "PCPrefer",
     "PCStrongPrefer",
+    "PCBatch",
     "PCWrap",
     "PHASE_LENGTH",
     "ParallelConsensusEngine",

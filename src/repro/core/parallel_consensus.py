@@ -49,7 +49,7 @@ from typing import Hashable, Mapping, Sequence
 from ..sim.messages import Broadcast, Inbox, NodeId, Outgoing, Payload
 from ..sim.node import KnownSenders, Process, RoundView
 from .consensus import INIT_ROUNDS, LINGER_PHASES, PHASE_LENGTH
-from .quorums import best_supported_value, meets_one_third, meets_two_thirds
+from .quorums import best_supported_value
 from .rotor_coordinator import RotorCoordinatorCore
 
 __all__ = [
@@ -166,6 +166,58 @@ class _InstanceState:
         return self.linger_rounds is not None and self.linger_rounds >= 0
 
 
+#: ``(instance, type_key)`` support index built once per round — see
+#: :func:`_build_scan_index`.
+_ScanIndex = dict[tuple[Hashable, str], dict[Hashable, set[NodeId]]]
+
+#: Memo key under which the scan index is cached on the inbox.
+_SCAN_KEY = "pc-scan-index"
+
+
+def _build_scan_index(
+    inbox: Inbox,
+) -> tuple[_ScanIndex, dict[tuple[Hashable, str], set[NodeId]]]:
+    """Index a round's messages by ``(instance, type)`` in one pass.
+
+    The old per-instance ``_support`` rescanned the full inbox for every
+    tracked identifier — O(identifiers × inbox) per round, the dominant
+    protocol cost once the total-order workload multiplexes hundreds of
+    identifiers.  One pass builds both the per-value supporter sets and the
+    "has spoken for this type" sets (valued messages plus the explicit
+    ``no…preference`` statements), and ``_support`` becomes a dictionary
+    lookup.
+
+    The function is a pure derivation of the inbox contents, so it is
+    memoized *on the inbox* (:meth:`~repro.sim.messages.Inbox.memo`): on
+    the synchronous fast path every node of an instance shares one inbox
+    object, and the index is built once per round instead of once per node.
+    """
+
+    support: _ScanIndex = {}
+    spoken: dict[tuple[Hashable, str], set[NodeId]] = {}
+    for sender, payload in inbox.items():
+        cls = type(payload)
+        if cls is PCInput:
+            key = (payload.instance, _TYPE_INPUT)
+        elif cls is PCPrefer:
+            key = (payload.instance, _TYPE_PREFER)
+        elif cls is PCStrongPrefer:
+            key = (payload.instance, _TYPE_STRONG)
+        elif cls is PCNoPreference:
+            # Explicit "no quorum" statements make the sender non-missing
+            # for the corresponding type, so no value is substituted.
+            spoken.setdefault((payload.instance, _TYPE_PREFER), set()).add(sender)
+            continue
+        elif cls is PCNoStrongPreference:
+            spoken.setdefault((payload.instance, _TYPE_STRONG), set()).add(sender)
+            continue
+        else:
+            continue
+        support.setdefault(key, {}).setdefault(payload.value, set()).add(sender)
+        spoken.setdefault(key, set()).add(sender)
+    return support, spoken
+
+
 class ParallelConsensusEngine:
     """The EarlyConsensus/ParallelConsensus state machine.
 
@@ -200,12 +252,24 @@ class ParallelConsensusEngine:
         self._instances: dict[Hashable, _InstanceState] = {}
         self._loop_senders: set[NodeId] = set()
         self._phase = 0
+        # Incremental bookkeeping so the hot-path queries stay O(1): the
+        # number of undecided instances, the decided-but-still-speaking
+        # instances (linger window), and the repr-sorted state list (built
+        # lazily, invalidated only when an instance is created).
+        self._undecided = 0
+        self._lingering: list[_InstanceState] = []
+        self._loop_complete = False
+        self._sorted_cache: list[_InstanceState] | None = None
+        # Per-round support index, rebuilt by _scan_inbox each step.
+        self._scan_support: _ScanIndex = {}
+        self._scan_spoken: dict[tuple[Hashable, str], set[NodeId]] = {}
         for instance, value in (input_pairs or {}).items():
             self._instances[instance] = _InstanceState(
                 instance=instance,
                 opinion=value if value is not None else BOTTOM,
                 started_phase=1,
             )
+            self._undecided += 1
 
     # -- introspection ------------------------------------------------------------
 
@@ -240,7 +304,16 @@ class ParallelConsensusEngine:
 
         if not self._instances:
             return self._phase >= 2
-        return all(state.decided for state in self._instances.values())
+        return self._undecided == 0
+
+    @property
+    def idle(self) -> bool:
+        """True when no instance will speak again on its own: everything is
+        decided and every linger window has closed.  An idle engine emits
+        payloads only in reaction to incoming messages (rotor echo relays),
+        which lets the total-order protocol stop stepping it entirely."""
+
+        return self.all_decided and not self._lingering
 
     @property
     def outputs(self) -> dict[Hashable, Hashable]:
@@ -260,6 +333,10 @@ class ParallelConsensusEngine:
             allowed = self._allowed if allowed is None else (allowed & self._allowed)
         if allowed is None:
             return inbox
+        if inbox.senders <= allowed:
+            # Nothing to strip — reuse the (possibly shared) inbox as-is
+            # instead of rebuilding it pair by pair.
+            return inbox
         return Inbox.from_pairs(
             (sender, payload)
             for sender, payload in inbox.items()
@@ -277,51 +354,58 @@ class ParallelConsensusEngine:
             return None
         state = _InstanceState(instance=instance, opinion=BOTTOM, started_phase=phase)
         self._instances[instance] = state
+        self._undecided += 1
+        self._sorted_cache = None
         return state
+
+    def _scanned_instances(self, type_key: str) -> list[Hashable]:
+        """Identifiers that delivered a *valued* message of ``type_key``."""
+
+        return [
+            instance for instance, key in self._scan_support if key == type_key
+        ]
 
     def _support(
         self,
-        inbox: Inbox,
         instance: Hashable,
-        message_cls: type,
         type_key: str,
         state: _InstanceState,
     ) -> dict[Hashable, int]:
-        """Count per-value support for one message type of one instance,
-        applying the ⊥/own-message substitution rules."""
+        """Per-value support for one message type of one instance, applying
+        the ⊥/own-message substitution rules to the round's scan index."""
 
-        supporters: dict[Hashable, set[NodeId]] = {}
-        senders_of_type: set[NodeId] = set()
-        for sender, payload in inbox.items():
-            if isinstance(payload, message_cls) and payload.instance == instance:
-                supporters.setdefault(payload.value, set()).add(sender)
-                senders_of_type.add(sender)
-            elif isinstance(payload, (PCNoPreference, PCNoStrongPreference)):
-                # Explicit "no quorum" statements make the sender non-missing
-                # for the corresponding type, so no value is substituted.
-                if payload.instance == instance and (
-                    (type_key == _TYPE_PREFER and isinstance(payload, PCNoPreference))
-                    or (
-                        type_key == _TYPE_STRONG
-                        and isinstance(payload, PCNoStrongPreference)
-                    )
-                ):
-                    senders_of_type.add(sender)
-        counts = {value: len(senders) for value, senders in supporters.items()}
+        key = (instance, type_key)
+        supporters = self._scan_support.get(key)
+        counts = (
+            {value: len(senders) for value, senders in supporters.items()}
+            if supporters
+            else {}
+        )
+        senders_of_type = self._scan_spoken.get(key, frozenset())
 
-        missing = self._known.ids - senders_of_type - {self._node_id}
-        if missing:
+        # ``missing`` is ``known − senders_of_type − {self}``.  By the time
+        # _support runs (phase rounds only) ``nv`` is frozen and the inbox
+        # is filtered to known senders, so ``senders_of_type ⊆ known`` and
+        # the *size* of the missing set is pure arithmetic — the set itself
+        # is only materialised on the rare substitution path.
+        known = self._known
+        n_missing = known.count - len(senders_of_type)
+        if self._node_id in known and self._node_id not in senders_of_type:
+            n_missing -= 1
+        if n_missing > 0:
             if self._phase == 1:
                 # First phase: missing senders default to ⊥ (rule 2).
-                counts[BOTTOM] = counts.get(BOTTOM, 0) + len(missing)
+                counts[BOTTOM] = counts.get(BOTTOM, 0) + n_missing
             else:
                 # Later phases: substitute the node's own most recent message
                 # of this type, but only for nodes that have never spoken
                 # inside the loop (rule 3, narrowed as in Algorithm 3).
-                silent = missing - self._loop_senders
                 own = state.sent.get(type_key)
-                if silent and own is not None:
-                    counts[own] = counts.get(own, 0) + len(silent)
+                if own is not None:
+                    missing = known.ids - senders_of_type - {self._node_id}
+                    silent = missing - self._loop_senders
+                    if silent:
+                        counts[own] = counts.get(own, 0) + len(silent)
         return counts
 
     # -- the round state machine ------------------------------------------------------
@@ -340,9 +424,16 @@ class ParallelConsensusEngine:
             self._known.freeze()
 
         inbox = self._filter(inbox)
-        if local_round > 3:
+        if local_round > 3 and not self._loop_complete:
             self._loop_senders.update(inbox.senders)
+            # Once every known sender has spoken inside the loop the set
+            # can never grow again (the inbox is filtered to known senders).
+            if len(self._loop_senders) >= self._known.count:
+                self._loop_complete = True
         relays = self._rotor.observe(inbox)
+        self._scan_support, self._scan_spoken = inbox.memo(
+            _SCAN_KEY, _build_scan_index
+        )
         phase_round = (local_round - INIT_ROUNDS - 1) % PHASE_LENGTH + 1
         if phase_round == 1:
             self._phase += 1
@@ -357,10 +448,15 @@ class ParallelConsensusEngine:
         }[phase_round]
         payloads.extend(handler(inbox, local_round))
 
-        # Linger bookkeeping for decided instances.
-        for state in self._instances.values():
-            if state.decided and state.linger_rounds is not None:
+        # Linger bookkeeping for decided instances (only the ones still
+        # inside their linger window — exhausted instances never reactivate).
+        if self._lingering:
+            still: list[_InstanceState] = []
+            for state in self._lingering:
                 state.linger_rounds -= 1
+                if state.linger_rounds >= 0:
+                    still.append(state)
+            self._lingering = still
         return payloads
 
     # -- phase rounds -------------------------------------------------------------------
@@ -378,13 +474,12 @@ class ParallelConsensusEngine:
     def _phase_round_two(self, inbox: Inbox, local_round: int) -> list[Payload]:
         payloads: list[Payload] = []
         # New identifiers first heard via id:input start an instance now.
-        for _, payload in inbox.items():
-            if isinstance(payload, PCInput):
-                self._ensure_instance(payload.instance, self._phase)
+        for instance in self._scanned_instances(_TYPE_INPUT):
+            self._ensure_instance(instance, self._phase)
         for state in self._sorted_states():
             if not state.active:
                 continue
-            support = self._support(inbox, state.instance, PCInput, _TYPE_INPUT, state)
+            support = self._support(state.instance, _TYPE_INPUT, state)
             winner = best_supported_value(support, self.nv, fraction="two_thirds")
             if winner is not None:
                 payloads.append(PCPrefer(state.instance, winner))
@@ -395,13 +490,12 @@ class ParallelConsensusEngine:
 
     def _phase_round_three(self, inbox: Inbox, local_round: int) -> list[Payload]:
         payloads: list[Payload] = []
-        for _, payload in inbox.items():
-            if isinstance(payload, PCPrefer):
-                self._ensure_instance(payload.instance, self._phase)
+        for instance in self._scanned_instances(_TYPE_PREFER):
+            self._ensure_instance(instance, self._phase)
         for state in self._sorted_states():
             if not state.active:
                 continue
-            support = self._support(inbox, state.instance, PCPrefer, _TYPE_PREFER, state)
+            support = self._support(state.instance, _TYPE_PREFER, state)
             adopt = best_supported_value(support, self.nv, fraction="one_third")
             if adopt is not None:
                 state.opinion = adopt
@@ -418,9 +512,7 @@ class ParallelConsensusEngine:
         for state in self._sorted_states():
             if not state.active:
                 continue
-            state.pending_strong = self._support(
-                inbox, state.instance, PCStrongPrefer, _TYPE_STRONG, state
-            )
+            state.pending_strong = self._support(state.instance, _TYPE_STRONG, state)
         # One shared rotor-coordinator selection per phase; the selected
         # coordinator publishes a per-instance opinion.
         outcome = self._rotor.execute_selection(
@@ -434,9 +526,8 @@ class ParallelConsensusEngine:
 
     def _phase_round_five(self, inbox: Inbox, local_round: int) -> list[Payload]:
         payloads: list[Payload] = []
-        for _, payload in inbox.items():
-            if isinstance(payload, PCStrongPrefer):
-                self._ensure_instance(payload.instance, self._phase)
+        for instance in self._scanned_instances(_TYPE_STRONG):
+            self._ensure_instance(instance, self._phase)
         coordinator = self._rotor.last_selected
         for state in self._sorted_states():
             if not state.active:
@@ -458,10 +549,16 @@ class ParallelConsensusEngine:
                 state.opinion = decide
                 state.output = None if decide == BOTTOM else decide
                 state.linger_rounds = LINGER_PHASES * PHASE_LENGTH
+                self._undecided -= 1
+                self._lingering.append(state)
         return payloads
 
     def _sorted_states(self) -> list[_InstanceState]:
-        return [self._instances[k] for k in sorted(self._instances, key=repr)]
+        cache = self._sorted_cache
+        if cache is None:
+            cache = [self._instances[k] for k in sorted(self._instances, key=repr)]
+            self._sorted_cache = cache
+        return cache
 
 
 class ParallelConsensusProcess(Process):

@@ -85,6 +85,46 @@ class RotorRoundOutcome:
     terminated: bool
 
 
+#: Memo key for the echo-support index cached on each inbox.
+_ECHO_KEY = "rotor-echo-index"
+
+#: Memo key for the init-announcement index cached on each inbox.
+_INIT_KEY = "rotor-init-index"
+
+
+def _build_init_index(inbox: Inbox) -> tuple[NodeId, ...]:
+    """The sorted senders that announced ``init`` in one round's inbox.
+
+    Pure and memoized on the inbox like :func:`_build_echo_index`, so the
+    scan happens once per shared inbox rather than once per receiver.
+    """
+
+    return tuple(
+        sender
+        for sender in sorted(inbox.senders)
+        if any(isinstance(p, RotorInit) for p in inbox.payloads_from(sender))
+    )
+
+
+def _build_echo_index(inbox: Inbox) -> dict[NodeId, set[NodeId]]:
+    """``candidate -> distinct echo senders`` for one round's inbox.
+
+    A pure derivation of the inbox contents, memoized on the inbox
+    (:meth:`~repro.sim.messages.Inbox.memo`).  During the echo rounds of an
+    embedded engine the per-instance inbox carries O(n²) payload items
+    (every sender echoes every candidate); sharing the single scan across
+    all receivers of the same inbox is what keeps candidate maintenance
+    quadratic instead of cubic system-wide.  Consumers must not mutate the
+    returned sets.
+    """
+
+    support: dict[NodeId, set[NodeId]] = {}
+    for sender, payload in inbox.items():
+        if isinstance(payload, RotorEcho):
+            support.setdefault(payload.candidate, set()).add(sender)
+    return support
+
+
 class RotorCoordinatorCore:
     """The candidate-set and selection machinery, independent of scheduling.
 
@@ -101,6 +141,7 @@ class RotorCoordinatorCore:
         self._node_id = node_id
         self._known = KnownSenders()
         self._candidates: list[NodeId] = []  # Cv, kept sorted by identifier
+        self._candidate_set: set[NodeId] = set()  # mirror for O(1) lookups
         self._selected: set[NodeId] = set()  # Sv
         self._selection_history: list[SelectionRecord] = []
         self._selection_round = 0  # the loop variable r of Algorithm 2
@@ -152,11 +193,7 @@ class RotorCoordinatorCore:
         """Round 2: broadcast ``echo(p)`` for every ``p`` whose ``init`` arrived."""
 
         self._known.observe(inbox)
-        payloads: list[Payload] = []
-        for sender in sorted(inbox.senders):
-            if any(isinstance(p, RotorInit) for p in inbox.payloads_from(sender)):
-                payloads.append(RotorEcho(sender))
-        return payloads
+        return [RotorEcho(sender) for sender in inbox.memo(_INIT_KEY, _build_init_index)]
 
     # -- per-round candidate maintenance (Algorithm 2, lines 7–15) ------------------
 
@@ -171,26 +208,32 @@ class RotorCoordinatorCore:
 
         self._known.observe(inbox)
         nv = self._known.count
-        support: dict[NodeId, set[NodeId]] = {}
-        for sender, payload in inbox.items():
-            if isinstance(payload, RotorEcho):
-                support.setdefault(payload.candidate, set()).add(sender)
+        support = inbox.memo(_ECHO_KEY, _build_echo_index)
+        if not support:
+            # No echoes this round — nothing can change ``Cv`` or warrant a
+            # relay.  This is the steady state of every embedded engine
+            # (echo traffic dies out after the init rounds), and with the
+            # shared index it makes candidate maintenance O(1) per round.
+            return []
 
         relays: list[Payload] = []
+        accepted: list[NodeId] = []
+        candidate_set = self._candidate_set
         for candidate in sorted(support):
-            senders = support[candidate]
-            if candidate in self._candidates:
+            if candidate in candidate_set:
                 continue
+            senders = support[candidate]
             if meets_one_third(len(senders), nv):
                 relays.append(RotorEcho(candidate))
             if meets_two_thirds(len(senders), nv):
-                self._add_candidate(candidate)
-        return relays
-
-    def _add_candidate(self, candidate: NodeId) -> None:
-        if candidate not in self._candidates:
-            self._candidates.append(candidate)
+                accepted.append(candidate)
+        if accepted:
+            # One batch insert + sort per round instead of a sort per
+            # candidate (the echo round delivers O(n) acceptances at once).
+            candidate_set.update(accepted)
+            self._candidates.extend(accepted)
             self._candidates.sort()
+        return relays
 
     # -- selection rounds (Algorithm 2, lines 16–29) ---------------------------------
 

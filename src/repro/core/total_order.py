@@ -31,7 +31,7 @@ the initial participants are consistently initialised (Section III).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Mapping, Sequence
 
 from ..sim.messages import Broadcast, Inbox, NodeId, Outgoing, Payload, Unicast
@@ -44,6 +44,7 @@ __all__ = [
     "AbsentMsg",
     "EventMsg",
     "PCWrap",
+    "PCBatch",
     "ChainEntry",
     "TotalOrderProcess",
     "finality_horizon",
@@ -77,10 +78,40 @@ class EventMsg:
 
 @dataclass(frozen=True)
 class PCWrap:
-    """A parallel-consensus payload multiplexed onto one round-instance."""
+    """A parallel-consensus payload multiplexed onto one round-instance.
+
+    Legacy single-payload wrapper: still accepted on the inbound path, but
+    correct nodes batch their per-round traffic into one :class:`PCBatch`
+    broadcast instead of one ``PCWrap`` broadcast per payload.
+    """
 
     instance_round: int
     payload: Payload
+
+
+@dataclass(frozen=True)
+class PCBatch:
+    """All of a node's parallel-consensus traffic for one round.
+
+    ``groups`` holds ``(instance_round, payloads)`` pairs — the payloads
+    every live consensus instance of this node emitted this round, in
+    instance order.  One broadcast per node per round replaces the O(live
+    instances × payloads) ``PCWrap`` broadcasts of the original protocol,
+    which dominated both the network's per-message bookkeeping and the
+    inbox dedup hashing once chains grew past a few dozen rounds.
+
+    The structural hash is cached: inbox deduplication hashes each payload
+    at least once per receiver, and a batch is a large nested tuple.
+    """
+
+    groups: tuple[tuple[int, tuple[Payload, ...]], ...]
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(self.groups)
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -103,14 +134,64 @@ def finality_horizon(membership_size: int) -> float:
 
 @dataclass
 class _InstanceRecord:
-    """A per-round parallel-consensus instance and its bookkeeping."""
+    """A per-round parallel-consensus instance and its bookkeeping.
+
+    Lifecycle: *live* (stepped every round) → *quiescent* (decided, linger
+    window closed, nothing left to say — the engine is dropped and only its
+    outputs are kept) → *pruned* (the finality horizon passed, the outputs
+    entered the chain, and the record is deleted from ``_instances``).
+    """
 
     instance_round: int
-    engine: ParallelConsensusEngine
+    engine: ParallelConsensusEngine | None
     membership: frozenset[NodeId]
-    started_at_local_round: int
     local_round: int = 0
-    finalized: bool = False
+    quiescent: bool = False
+    # Snapshot of ``engine.outputs`` taken when the record goes quiescent.
+    decided_outputs: dict | None = None
+
+    @property
+    def all_decided(self) -> bool:
+        return self.quiescent or self.engine.all_decided
+
+    @property
+    def outputs(self) -> dict:
+        return self.decided_outputs if self.quiescent else self.engine.outputs
+
+
+#: Memo key for the per-instance routing table cached on each inbox.
+_ROUTE_KEY = "total-order-routing"
+
+
+def _route_instances(inbox: Inbox) -> dict[int, Inbox]:
+    """Split an inbox's batched consensus traffic into per-instance inboxes.
+
+    A pure derivation of the inbox contents, memoized on the inbox
+    (:meth:`~repro.sim.messages.Inbox.memo`): on the synchronous fast path
+    a broadcast-only round hands *the same* inbox object to every node, so
+    the O(total batched payloads) split happens once per round instead of
+    once per node.
+    """
+
+    buckets: dict[int, list[tuple[NodeId, Payload]]] = {}
+    for sender, payload in inbox.items():
+        cls = type(payload)
+        if cls is PCBatch:
+            for instance_round, group in payload.groups:
+                bucket = buckets.get(instance_round)
+                if bucket is None:
+                    buckets[instance_round] = bucket = []
+                for inner in group:
+                    bucket.append((sender, inner))
+        elif cls is PCWrap:
+            bucket = buckets.get(payload.instance_round)
+            if bucket is None:
+                buckets[payload.instance_round] = bucket = []
+            bucket.append((sender, payload.payload))
+    return {
+        instance_round: Inbox.from_pairs(pairs)
+        for instance_round, pairs in buckets.items()
+    }
 
 
 class TotalOrderProcess(Process):
@@ -131,9 +212,10 @@ class TotalOrderProcess(Process):
     leave_round:
         Protocol round at which the node announces ``absent`` and starts
         winding down (``None`` = stays forever).
-    max_chain_rounds:
-        Safety valve: instances older than this are dropped from memory
-        once finalized.
+
+    Finalized instances are pruned from memory as soon as their outputs
+    enter the chain; decided instances stop being stepped once their linger
+    window closes (see :class:`_InstanceRecord`).
     """
 
     def __init__(
@@ -151,6 +233,7 @@ class TotalOrderProcess(Process):
             self._members.add(node_id)
         self._round = 0  # the protocol round r
         self._join_phase = 0  # 0 = not started, 1 = present sent, 2 = active
+        self._join_wait = 0  # silent rounds since `present` went out
         if not self._joining:
             self._join_phase = 2
         self._events = events or {}
@@ -228,7 +311,7 @@ class TotalOrderProcess(Process):
             if isinstance(payload, AckMsg):
                 acks[sender] = payload.round_number
         if not acks:
-            self._join_wait = getattr(self, "_join_wait", 0) + 1
+            self._join_wait += 1
             if self._join_wait >= 3:
                 # Nobody answered (e.g. our `present` was lost to churn);
                 # start the handshake over.
@@ -254,9 +337,14 @@ class TotalOrderProcess(Process):
         round_number = self._round
 
         # -- 1. membership and event intake -------------------------------------
-        per_instance_inbox: dict[int, list[tuple[NodeId, Payload]]] = {}
+        # Batched consensus traffic is routed separately (and shared across
+        # nodes on the fast path) by _instance_inboxes; this pass only
+        # handles the O(senders) membership/event payloads.
         incoming_events: list[tuple[NodeId, Hashable]] = []
         for sender, payload in view.inbox.items():
+            cls = type(payload)
+            if cls is PCBatch or cls is PCWrap:
+                continue
             if isinstance(payload, PresentMsg):
                 self._members.add(sender)
                 outgoing.append(Unicast(sender, AckMsg(round_number)))
@@ -267,10 +355,6 @@ class TotalOrderProcess(Process):
                 # small tolerance of one round absorbs the join skew).
                 if payload.round_number >= round_number - 2:
                     incoming_events.append((sender, payload.event))
-            elif isinstance(payload, PCWrap):
-                per_instance_inbox.setdefault(payload.instance_round, []).append(
-                    (sender, payload.payload)
-                )
 
         # -- 2. our own event for this round ----------------------------------------
         if not self._leaving and not just_joined:
@@ -299,30 +383,43 @@ class TotalOrderProcess(Process):
                 instance_round=round_number,
                 engine=engine,
                 membership=frozenset(self._members),
-                started_at_local_round=round_number,
             )
 
-        # -- 5. advance every live instance ------------------------------------------
-        for record in list(self._instances.values()):
-            if record.finalized:
+        # -- 5. advance the live (non-quiescent) instances ---------------------------
+        # A decided instance whose linger window has closed has nothing left
+        # to say: it is marked quiescent, its engine is dropped (only the
+        # outputs survive), and it is never stepped again.  This is what
+        # keeps the per-round cost bounded by the decide+linger window
+        # instead of growing with the ~5n/2-round finality horizon.
+        routed = view.inbox.memo(_ROUTE_KEY, _route_instances)
+        groups: list[tuple[int, tuple[Payload, ...]]] = []
+        empty = Inbox.empty()
+        for record in self._instances.values():
+            if record.quiescent:
                 continue
             record.local_round += 1
-            pairs = per_instance_inbox.get(record.instance_round, [])
-            inbox = Inbox.from_pairs(pairs)
-            payloads = record.engine.step(record.local_round, inbox)
-            for payload in payloads:
-                outgoing.append(Broadcast(PCWrap(record.instance_round, payload)))
+            engine = record.engine
+            payloads = engine.step(
+                record.local_round, routed.get(record.instance_round, empty)
+            )
+            if payloads:
+                groups.append((record.instance_round, tuple(payloads)))
+            elif engine.idle:
+                record.quiescent = True
+                record.decided_outputs = dict(engine.outputs)
+                record.engine = None
+        if groups:
+            # One batched wrapper broadcast per round, not one per payload.
+            outgoing.append(Broadcast(PCBatch(tuple(groups))))
 
         # -- 6. finality and chain output -------------------------------------------
         self._update_chain(round_number)
 
         # -- 7. wind down after leaving -----------------------------------------------
         if self._leaving:
-            outstanding = [
-                record
-                for record in self._instances.values()
-                if not record.finalized and not record.engine.all_decided
-            ]
+            outstanding = any(
+                not record.all_decided for record in self._instances.values()
+            )
             if not outstanding:
                 self._left = True
         return outgoing
@@ -333,7 +430,7 @@ class TotalOrderProcess(Process):
         elapsed = round_number - record.instance_round
         return (
             elapsed > finality_horizon(len(record.membership))
-            and record.engine.all_decided
+            and record.all_decided
         )
 
     def _update_chain(self, round_number: int) -> None:
@@ -341,6 +438,9 @@ class TotalOrderProcess(Process):
         # final; we additionally require the local engine to have decided
         # (it always has, well within the horizon, but this keeps the output
         # well-defined even if the horizon is made artificially tight).
+        # A record that becomes final is pruned right after its outputs
+        # enter the chain — the chain itself is the durable result, so
+        # ``_instances`` holds only the horizon window, not the full history.
         next_round = self._final_upto + 1
         while next_round in self._instances or next_round < round_number:
             record = self._instances.get(next_round)
@@ -354,17 +454,16 @@ class TotalOrderProcess(Process):
                 continue
             if not self._instance_final(record, round_number):
                 break
-            if not record.finalized:
-                record.finalized = True
-                outputs = record.engine.outputs
-                for key in sorted(outputs, key=repr):
-                    reporter, _ = key
-                    self._chain.append(
-                        ChainEntry(
-                            instance_round=record.instance_round,
-                            reporter=reporter,
-                            event=outputs[key],
-                        )
+            outputs = record.outputs
+            for key in sorted(outputs, key=repr):
+                reporter, _ = key
+                self._chain.append(
+                    ChainEntry(
+                        instance_round=record.instance_round,
+                        reporter=reporter,
+                        event=outputs[key],
                     )
+                )
+            del self._instances[next_round]
             self._final_upto = next_round
             next_round += 1

@@ -95,7 +95,7 @@ class Inbox:
     discarded".
     """
 
-    __slots__ = ("_by_sender", "_size")
+    __slots__ = ("_by_sender", "_size", "_senders", "_memo")
 
     def __init__(self, by_sender: Mapping[NodeId, Iterable[Payload]] | None = None):
         collapsed: dict[NodeId, tuple[Payload, ...]] = {}
@@ -105,6 +105,13 @@ class Inbox:
                     # the fallback below re-iterates, so a one-shot iterator
                     # must be materialised before the first attempt
                     payloads = list(payloads)
+                if len(payloads) == 1:
+                    # A single payload cannot be a duplicate — skip the
+                    # dedup build (and its hashing) entirely.  With the
+                    # batched total-order wrapper most senders deliver one
+                    # large payload per round, so this is the common case.
+                    collapsed[sender] = tuple(payloads)
+                    continue
                 try:
                     # Payloads are hashable by contract, so first-occurrence
                     # deduplication is a dict build rather than a quadratic
@@ -120,6 +127,8 @@ class Inbox:
                     collapsed[sender] = seen
         self._by_sender = collapsed
         self._size = -1
+        self._senders: frozenset[NodeId] | None = None
+        self._memo: dict | None = None
 
     # -- basic accessors -------------------------------------------------
 
@@ -127,7 +136,11 @@ class Inbox:
     def senders(self) -> frozenset[NodeId]:
         """Identifiers of every node that delivered at least one message."""
 
-        return frozenset(self._by_sender)
+        cached = self._senders
+        if cached is None:
+            cached = frozenset(self._by_sender)
+            self._senders = cached
+        return cached
 
     def payloads_from(self, sender: NodeId) -> tuple[Payload, ...]:
         """All distinct payloads delivered by ``sender`` this round."""
@@ -156,6 +169,27 @@ class Inbox:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Inbox({dict(self._by_sender)!r})"
+
+    def memo(self, key: Hashable, factory: "Callable[[Inbox], Any]") -> Any:
+        """Cache ``factory(self)`` on this inbox under ``key``.
+
+        An inbox is immutable, so any pure derivation of its contents (a
+        payload index, a per-instance routing table) can be computed once
+        and shared by every consumer — crucially including *different
+        receivers* on the synchronous fast path, where a broadcast-only
+        round hands the same ``Inbox`` object to every node.  The cache
+        dies with the inbox; factories must not mutate the result.
+        """
+
+        cache = self._memo
+        if cache is None:
+            self._memo = cache = {}
+        try:
+            return cache[key]
+        except KeyError:
+            value = factory(self)
+            cache[key] = value
+            return value
 
     # -- protocol-oriented queries ----------------------------------------
 

@@ -492,8 +492,18 @@ class SynchronousNetwork:
                         )
         if shared is not None:
             # Broadcast-only round: every recipient sees the same messages,
-            # so one Inbox serves all of them.
-            inbox = Inbox.from_pairs([(s, p) for s, p, _ in staged])
+            # so one Inbox serves all of them.  Batches are grouped by
+            # sender directly — no intermediate (sender, payload) pair list
+            # — and the single shared Inbox is also what lets the batched
+            # total-order wrapper be routed once per round instead of once
+            # per receiving node (see repro.core.total_order).
+            by_sender: dict[NodeId, list[Any]] = {}
+            for sender, payload, _ in staged:
+                bucket = by_sender.get(sender)
+                if bucket is None:
+                    by_sender[sender] = bucket = []
+                bucket.append(payload)
+            inbox = Inbox(by_sender)
             return {dest: inbox for dest in shared if dest in active}
         pairs_by_dest: dict[NodeId, list[tuple[NodeId, Any]]] = {}
         for sender, payload, dests in staged:

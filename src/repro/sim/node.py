@@ -125,11 +125,12 @@ class KnownSenders:
     protocol code reads like the pseudocode.
     """
 
-    __slots__ = ("_ids", "_frozen")
+    __slots__ = ("_ids", "_frozen", "_frozen_view")
 
     def __init__(self) -> None:
         self._ids: set[NodeId] = set()
         self._frozen = False
+        self._frozen_view: frozenset[NodeId] | None = None
 
     def observe(self, inbox: Inbox) -> None:
         """Record every sender in ``inbox``.
@@ -159,6 +160,14 @@ class KnownSenders:
 
     @property
     def ids(self) -> frozenset[NodeId]:
+        if self._frozen:
+            # The set can no longer change: build the frozen view once.
+            # Quorum counting queries this every support count, so the
+            # rebuild shows up at scale.
+            view = self._frozen_view
+            if view is None:
+                view = self._frozen_view = frozenset(self._ids)
+            return view
         return frozenset(self._ids)
 
     def __contains__(self, node_id: NodeId) -> bool:

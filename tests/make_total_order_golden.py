@@ -1,0 +1,123 @@
+"""Regenerate the total-order golden-chain differential fixtures.
+
+The fixtures pin the *observable* behaviour of Algorithm 6 — per-node chain
+entries, ``final_round`` and membership views — over a grid of
+``(n, f, rounds, adversary, churn schedule, seed)`` scenarios, so the
+instance-lifecycle internals can be refactored freely while
+``tests/test_total_order_golden.py`` asserts bit-identical outputs.
+
+Usage::
+
+    PYTHONPATH=src python tests/make_total_order_golden.py
+
+The grid deliberately avoids observation-dependent adversaries (``replay``
+re-broadcasts whatever payloads it saw, so its behaviour tracks the wire
+format rather than the protocol); ``silent``/``crash``/``random-noise``/
+``equivocate-value`` act independently of the payload encoding.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import ScenarioSpec  # noqa: E402
+from repro.api.sweep import run_scenario  # noqa: E402
+
+FIXTURE_PATH = Path(__file__).resolve().parent / "fixtures" / "total_order_golden.json"
+
+#: (n, f, rounds, adversary, join_rate, leave_rate, seeds)
+GRID: tuple[tuple, ...] = (
+    (4, 1, 45, "silent", 0.0, 0.0, (0, 1)),
+    (7, 2, 40, "random-noise", 0.0, 0.0, (0, 1)),
+    (7, 1, 40, "silent", 0.2, 0.1, (0, 1, 2)),
+    (10, 2, 45, "equivocate-value", 0.15, 0.1, (0, 1)),
+    (13, 3, 50, "crash", 0.1, 0.05, (0, 1)),
+    (16, 4, 60, "silent", 0.1, 0.1, (0, 1)),
+    (24, 7, 75, "silent", 0.05, 0.05, (0,)),
+)
+
+
+def scenario_spec(n, f, rounds, adversary, join_rate, leave_rate, seed) -> ScenarioSpec:
+    return ScenarioSpec(
+        protocol="total-order",
+        n=n,
+        f=f,
+        adversary=adversary,
+        seed=seed,
+        churn={"rounds": rounds, "join_rate": join_rate, "leave_rate": leave_rate},
+    )
+
+
+def snapshot(outcome) -> dict:
+    """Everything the differential suite compares, per correct node."""
+
+    nodes = {}
+    for node_id, process in sorted(outcome.result.processes.items()):
+        if process.is_byzantine:
+            continue
+        nodes[str(node_id)] = {
+            "chain": [
+                [entry.instance_round, entry.reporter, repr(entry.event)]
+                for entry in process.chain
+            ],
+            "final_round": process.final_round,
+            "members": sorted(process.members),
+            "joined": process.joined,
+            "protocol_round": process.protocol_round,
+        }
+    return nodes
+
+
+def generate() -> dict:
+    scenarios = []
+    for n, f, rounds, adversary, join_rate, leave_rate, seeds in GRID:
+        for seed in seeds:
+            spec = scenario_spec(n, f, rounds, adversary, join_rate, leave_rate, seed)
+            outcome = run_scenario(spec)
+            key = f"n{n}-f{f}-r{rounds}-{adversary}-j{join_rate}-l{leave_rate}-s{seed}"
+            scenarios.append(
+                {
+                    "key": key,
+                    "spec": {
+                        "n": n,
+                        "f": f,
+                        "rounds": rounds,
+                        "adversary": adversary,
+                        "join_rate": join_rate,
+                        "leave_rate": leave_rate,
+                        "seed": seed,
+                    },
+                    "nodes": snapshot(outcome),
+                }
+            )
+            chains = [len(node["chain"]) for node in scenarios[-1]["nodes"].values()]
+            print(
+                f"{key:48s} nodes={len(chains):3d} "
+                f"chain lengths {min(chains)}..{max(chains)}",
+                file=sys.stderr,
+            )
+    return {
+        "description": (
+            "Golden-chain differential fixtures for the total-order protocol "
+            "(Algorithm 6): per-node chain entries, final_round and membership "
+            "views pinned over a grid of churn scenarios."
+        ),
+        "regenerate": "PYTHONPATH=src python tests/make_total_order_golden.py",
+        "scenarios": scenarios,
+    }
+
+
+def main() -> int:
+    report = generate()
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {FIXTURE_PATH} ({len(report['scenarios'])} scenarios)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -83,6 +83,34 @@ def test_fast_queue_and_legacy_are_trace_identical(protocol, seed):
     assert prints["queue"] == prints["legacy"]
 
 
+def test_total_order_churn_n50_is_trace_identical_across_kernels():
+    """Total-order at n=50 with churn, across all three kernels.
+
+    Before the instance-lifecycle rewrite the protocol's own chain/ack
+    bookkeeping made n=50 too slow to run on the reference kernels; now
+    that per-round cost is bounded by the decide+linger window, the
+    three-kernel bit-identical guarantee is enforced at a size where
+    batching, quiescence (first transition ≈ round 20: decide + linger)
+    and churn-time delivery filtering are all exercised for real.
+    """
+
+    spec = ScenarioSpec(
+        protocol="total-order",
+        n=50,
+        f=12,
+        adversary="equivocate-value",
+        seed=1,
+        trace=True,
+        churn={"rounds": 24, "join_rate": 0.2, "leave_rate": 0.1},
+    )
+    prints = {
+        engine: fingerprint(run_scenario(spec, engine=engine))
+        for engine in ("fast", "queue", "legacy")
+    }
+    assert prints["fast"] == prints["legacy"]
+    assert prints["queue"] == prints["legacy"]
+
+
 @pytest.mark.parametrize(
     "delay,delay_params",
     [

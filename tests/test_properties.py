@@ -19,6 +19,7 @@ import json
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.analysis import chains_are_prefixes
 from repro.analysis.properties import (
     approx_outputs_in_range,
     consensus_agreement,
@@ -27,6 +28,7 @@ from repro.analysis.properties import (
 )
 from repro.api import ScenarioSpec
 from repro.api.sweep import run_scenario
+from repro.dynamic import build_total_order_system, generate_churn_schedule
 
 COMMON = settings(
     max_examples=15,
@@ -125,6 +127,74 @@ def test_approximate_agreement_outputs_stay_in_correct_range(nf, seed, adversary
         f"outputs {outputs} escaped the correct input range "
         f"[{min(inputs.values())}, {max(inputs.values())}]"
     )
+
+
+@COMMON
+@given(
+    initial_correct=st.integers(min_value=4, max_value=8),
+    initial_byzantine=st.integers(min_value=0, max_value=2),
+    join_rate=st.sampled_from([0.0, 0.15, 0.3]),
+    leave_rate=st.sampled_from([0.0, 0.1, 0.2]),
+    adversary=st.sampled_from(
+        ["silent", "crash", "random-noise", "equivocate-value"]
+    ),
+    seed=st.integers(min_value=0, max_value=2**10),
+)
+def test_total_order_safety_under_random_churn(
+    initial_correct, initial_byzantine, join_rate, leave_rate, adversary, seed
+):
+    """Theorem 6 safety on random churn schedules.
+
+    * genesis-correct chains are prefix-consistent;
+    * no chain carries two entries for the same ``(instance_round,
+      reporter)`` (correct reporters witness at most one event per round,
+      and none of the sampled adversaries forges ``EventMsg`` payloads);
+    * a correct joiner's chain converges with the stayers': on every
+      instance round both chains cover, the decided entries are identical.
+    """
+
+    rounds = 40
+    if initial_correct <= 3 * initial_byzantine:
+        initial_correct = 3 * initial_byzantine + 1
+    schedule = generate_churn_schedule(
+        initial_correct=initial_correct,
+        initial_byzantine=initial_byzantine,
+        rounds=rounds,
+        join_rate=join_rate,
+        leave_rate=leave_rate,
+        seed=seed,
+    )
+    system = build_total_order_system(schedule, strategy=adversary, seed=seed)
+    system.network.run(max_rounds=rounds, stop_when=lambda _net: False)
+
+    genesis_chains = list(system.chains().values())
+    assert chains_are_prefixes(genesis_chains)
+
+    correct_nodes = {
+        node_id: process
+        for node_id, process in system.network.processes().items()
+        if not process.is_byzantine
+    }
+    for node_id, process in correct_nodes.items():
+        keys = [(entry.instance_round, entry.reporter) for entry in process.chain]
+        assert len(keys) == len(set(keys)), f"duplicate entry in chain of {node_id}"
+
+    # Joiner convergence: compare every correct node (joiners included)
+    # against the longest genesis chain, grouped by instance round.
+    reference = max(genesis_chains, key=len, default=())
+    by_round: dict[int, list] = {}
+    for entry in reference:
+        by_round.setdefault(entry.instance_round, []).append(entry)
+    for node_id, process in correct_nodes.items():
+        groups: dict[int, list] = {}
+        for entry in process.chain:
+            groups.setdefault(entry.instance_round, []).append(entry)
+        for instance_round, group in groups.items():
+            if instance_round in by_round:
+                assert group == by_round[instance_round], (
+                    f"node {node_id} diverged from the genesis chain on "
+                    f"instance round {instance_round}"
+                )
 
 
 # ---------------------------------------------------------------------------

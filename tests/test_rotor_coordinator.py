@@ -136,3 +136,40 @@ class TestSystem:
         for i in spec.correct_ids:
             candidates = set(spec.network.process(i).core.candidates)
             assert set(spec.correct_ids) <= candidates
+
+
+class TestCandidateMaintenanceAfterSaturation:
+    def test_late_echo_quorum_is_accepted_even_when_len_cv_reaches_nv(self):
+        """|Cv| >= nv must not stop candidate maintenance.
+
+        Cv can contain nodes outside the local known set (a candidate's own
+        messages may never have arrived, while everyone else's echoes did),
+        so the candidate count reaching ``nv`` does not mean every *known*
+        sender is a candidate.  A later echo quorum for a known-but-slow
+        node must still be accepted — a size-based short-circuit here once
+        dropped it.
+        """
+
+        from repro.core.rotor_coordinator import RotorCoordinatorCore, RotorEcho
+        from repro.sim.messages import Inbox
+
+        a, b, c, p, me = 1, 2, 3, 99, 7
+        core = RotorCoordinatorCore(me)
+        # known = {a, b, c}: only their messages ever arrived.
+        core._known.observe(Inbox({a: ["x"], b: ["x"], c: ["x"]}))
+        core._known.freeze()
+        # Everyone echoes p (whose own init never reached us): p is accepted
+        # although p is not a known sender, so |Cv| can reach nv without
+        # Cv covering the known set.
+        core.observe(Inbox.from_pairs(
+            [(a, RotorEcho(p)), (b, RotorEcho(p)), (c, RotorEcho(p)),
+             (a, RotorEcho(a)), (b, RotorEcho(a)), (c, RotorEcho(a)),
+             (a, RotorEcho(b)), (b, RotorEcho(b)), (c, RotorEcho(b))]
+        ))
+        assert set(core.candidates) == {a, b, p}
+        assert len(core.candidates) >= core.nv
+        # The late quorum for known node c must still be accepted.
+        core.observe(Inbox.from_pairs(
+            [(a, RotorEcho(c)), (b, RotorEcho(c))]
+        ))
+        assert c in core.candidates

@@ -110,6 +110,53 @@ class TestDynamicMembership:
         for i in ids[:4]:
             assert ids[4] in net.process(i).members
 
+    def test_join_handshake_retries_after_silent_rounds(self):
+        """A `present` lost to churn is re-broadcast after three silent rounds.
+
+        The joiner starts alone, so its first `present` reaches nobody (the
+        broadcast fans out to the active set, which is just itself).  After
+        three ack-less rounds it must restart the handshake; the stayers
+        arriving later answer the *second* `present` and the join completes.
+        """
+
+        from repro.core.total_order import PresentMsg
+        from repro.sim.events import EventKind
+
+        ids = sparse_ids(5, seed=9)
+        joiner_id, stayers = ids[0], ids[1:]
+        joiner = TotalOrderProcess(joiner_id, initial_members=None, events={})
+        net = SynchronousNetwork([joiner], seed=9, trace=True)
+        for stayer in stayers:
+            net.add_process(
+                TotalOrderProcess(stayer, initial_members=set(stayers), events={}),
+                at_round=5,
+            )
+        net.run(max_rounds=14, stop_when=lambda _net: False)
+
+        present_rounds = sorted(
+            {
+                event.round_index
+                for event in net.trace
+                if event.kind == EventKind.MESSAGE_SENT
+                and event.node_id == joiner_id
+                and isinstance(event.payload, PresentMsg)
+            }
+        )
+        assert len(present_rounds) >= 2, "handshake was never retried"
+        assert present_rounds[1] - present_rounds[0] >= 3, (
+            "retry must wait out three silent rounds"
+        )
+        assert joiner.joined
+        assert joiner.members >= set(stayers)
+        for stayer in stayers:
+            assert joiner_id in net.process(stayer).members
+
+    def test_join_wait_counter_initialized_in_init(self):
+        # The retry counter must exist before the first handshake round —
+        # it was previously conjured via getattr inside _join_handshake.
+        joiner = TotalOrderProcess(1, initial_members=None, events={})
+        assert joiner._join_wait == 0
+
     def test_churn_schedule_preserves_prefix_property(self):
         schedule = generate_churn_schedule(
             initial_correct=5,
