@@ -48,13 +48,15 @@ DEFAULT_ENGINES = ("fast", "queue", "legacy")
 #: ``rounds`` caps each measurement; every engine in a (protocol, n) cell
 #: pair runs the *same* spec with the same cap, so round caps cancel out of
 #: every speedup ratio.  ``rounds_large`` = (n_threshold, rounds) shrinks
-#: the cap at large n for the protocols whose payloads grow with n
-#: (rotor-coordinator carries O(n) candidate sets, and consensus embeds
-#: it), where even a single round is expensive on any engine.  ``caps``
-#: bounds the n the slow reference engines are run at — measured examples
-#: of why: rotor-coordinator at n=500 needs 697 s (queue) / 859 s (legacy)
-#: against 16 s on the fast path.  Skipped cells are recorded in the JSON
-#: rather than silently dropped.
+#: the cap at large n for the heaviest initialization phases (kept from the
+#: pre-wire-format sweeps so per-cell rounds/s stay comparable across PRs).
+#: ``caps`` bounds the n the slow reference engines are run at; skipped
+#: cells are recorded in the JSON rather than silently dropped.  The
+#: delta-coded candidate gossip (one ``CandidateGossip`` per node per round
+#: instead of one ``RotorEcho`` per candidate) uncapped the rotor
+#: reference engines: the echo wave fell from O(n³) to O(n²) wire
+#: messages, so the queue/legacy kernels that previously needed 697 s /
+#: 859 s for a single rotor n=500 cell now run it in seconds.
 WORKLOADS: dict[str, dict] = {
     "reliable-broadcast": {
         "rounds": 4,
@@ -63,12 +65,12 @@ WORKLOADS: dict[str, dict] = {
     "rotor-coordinator": {
         "rounds": 6,
         "rounds_large": (500, 4),
-        "caps": {"queue": 100, "legacy": 100},
+        "caps": {"queue": 1000, "legacy": 500},
     },
     "consensus": {
         "rounds": 5,
         "rounds_large": (500, 2),
-        "caps": {"queue": 250, "legacy": 500},
+        "caps": {"queue": 500, "legacy": 500},
     },
     "approximate-agreement": {
         "rounds": 4,
@@ -156,11 +158,37 @@ def bench_cell(spec: ScenarioSpec, engine: str) -> dict:
     }
 
 
-def run_sweep(sizes, engines, protocols, *, legacy_max_n: int, seed: int) -> dict:
+def measure_wire_volume(spec: ScenarioSpec) -> dict:
+    """Run the cell once more with payload accounting to size the traffic.
+
+    Wire volume is a property of the *scenario*, not the kernel — every
+    engine moves the same payloads to the same destinations — so one
+    instrumented fast-path run per (protocol, n) prices the whole cell
+    group.  It runs separately from the timed cells because sizing a
+    payload costs a pickle per send action.
+    """
+
+    system = REGISTRY.build(spec, engine="fast")
+    system.network.enable_payload_accounting()
+    result = system.network.run(
+        max_rounds=spec.max_rounds, stop_when=resolve_stop(spec)
+    )
+    return {
+        "message_bytes": result.metrics.total_payload_bytes,
+        "peak_payload_bytes": result.metrics.peak_payload_bytes,
+    }
+
+
+def run_sweep(
+    sizes, engines, protocols, *, legacy_max_n: int, seed: int, wire_volume: bool = True
+) -> dict:
     cells: list[dict] = []
     for protocol in protocols:
         for n in sizes:
             spec = make_spec(protocol, n, seed)
+            # Sized lazily: cap-skipped cell groups must not pay for (or
+            # discard) an instrumented run nothing will report.
+            volume: dict | None = None
             for engine in engines:
                 cap = engine_cap(protocol, engine)
                 if engine == "legacy":
@@ -179,6 +207,10 @@ def run_sweep(sizes, engines, protocols, *, legacy_max_n: int, seed: int) -> dic
                     )
                     continue
                 cell = bench_cell(spec, engine)
+                if wire_volume:
+                    if volume is None:
+                        volume = measure_wire_volume(spec)
+                    cell.update(volume)
                 cells.append(cell)
                 # progress goes to stderr so `--out -` emits clean JSON
                 print(
@@ -217,7 +249,10 @@ def run_sweep(sizes, engines, protocols, *, legacy_max_n: int, seed: int) -> dic
         "benchmark": "bench_scaling",
         "description": (
             "Round throughput of the synchronous fast path vs the bucketed "
-            "queue and the pre-PR legacy engine; identical scenarios per cell."
+            "queue and the pre-PR legacy engine; identical scenarios per cell. "
+            "message_bytes / peak_payload_bytes size the wire traffic "
+            "(serialised payload bytes x copies; engine-independent, measured "
+            "on a separate instrumented fast-path run per (protocol, n))."
         ),
         "python": platform.python_version(),
         "seed": seed,
@@ -260,6 +295,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="n=50 smoke run (CI): all protocols, fast+legacy only",
     )
+    parser.add_argument(
+        "--no-bytes",
+        action="store_true",
+        help="skip the instrumented wire-volume pass (message_bytes columns)",
+    )
     args = parser.parse_args(argv)
 
     sizes = (
@@ -280,7 +320,12 @@ def main(argv=None) -> int:
             parser.error(f"unknown protocol {protocol!r}; known: {', '.join(WORKLOADS)}")
 
     report = run_sweep(
-        sizes, engines, protocols, legacy_max_n=args.legacy_max_n, seed=args.seed
+        sizes,
+        engines,
+        protocols,
+        legacy_max_n=args.legacy_max_n,
+        seed=args.seed,
+        wire_volume=not args.no_bytes,
     )
     payload = json.dumps(report, indent=2)
     if args.out == "-":

@@ -171,14 +171,17 @@ class ConsensusProcess(Process):
     # -- helpers --------------------------------------------------------------------
 
     def _filtered(self, inbox: Inbox) -> Inbox:
-        """Discard messages from senders that did not count towards ``nv``."""
+        """Discard messages from senders that did not count towards ``nv``.
 
-        allowed = self._known.ids
-        return Inbox.from_pairs(
-            (sender, payload)
-            for sender, payload in inbox.items()
-            if sender in allowed
-        )
+        Delegates to :meth:`~repro.sim.messages.Inbox.restricted`: when
+        nothing needs stripping the (possibly shared) inbox is reused
+        as-is, and otherwise the restriction — and therefore every index
+        memoized on it, such as the rotor echo index — is built once per
+        round and shared by all nodes with the same ``nv`` view instead of
+        being rebuilt per receiver.
+        """
+
+        return inbox.restricted(self._known.ids)
 
     def _support(
         self, inbox: Inbox, message_type: type, *, substitute: bool = True

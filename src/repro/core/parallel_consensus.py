@@ -263,13 +263,17 @@ class ParallelConsensusEngine:
         # Per-round support index, rebuilt by _scan_inbox each step.
         self._scan_support: _ScanIndex = {}
         self._scan_spoken: dict[tuple[Hashable, str], set[NodeId]] = {}
-        for instance, value in (input_pairs or {}).items():
-            self._instances[instance] = _InstanceState(
-                instance=instance,
-                opinion=value if value is not None else BOTTOM,
-                started_phase=1,
-            )
-            self._undecided += 1
+        # Input pairs are held here until first touch; _InstanceState is
+        # materialised lazily (first message about the identifier, or the
+        # first phase round where the input must speak).  The total-order
+        # protocol builds one engine per round with O(n) input pairs, so
+        # eager construction was the remaining O(n²) allocation per round —
+        # engines that die before their first phase round (run tail,
+        # leaving nodes) now never allocate per-identifier state at all.
+        self._pending_inputs: dict[Hashable, Hashable] = {
+            instance: (value if value is not None else BOTTOM)
+            for instance, value in (input_pairs or {}).items()
+        }
 
     # -- introspection ------------------------------------------------------------
 
@@ -287,6 +291,10 @@ class ParallelConsensusEngine:
 
     @property
     def instances(self) -> tuple[Hashable, ...]:
+        if self._pending_inputs:
+            merged = set(self._instances)
+            merged.update(self._pending_inputs)
+            return tuple(sorted(merged, key=repr))
         return tuple(sorted(self._instances, key=repr))
 
     @property
@@ -295,13 +303,17 @@ class ParallelConsensusEngine:
 
     def opinion(self, instance: Hashable) -> Hashable | None:
         state = self._instances.get(instance)
-        return None if state is None else state.opinion
+        if state is not None:
+            return state.opinion
+        return self._pending_inputs.get(instance)
 
     @property
     def all_decided(self) -> bool:
         """True when every tracked instance has decided (vacuously true for
         a node tracking no instances once the first phase has passed)."""
 
+        if self._pending_inputs:
+            return False
         if not self._instances:
             return self._phase >= 2
         return self._undecided == 0
@@ -333,30 +345,41 @@ class ParallelConsensusEngine:
             allowed = self._allowed if allowed is None else (allowed & self._allowed)
         if allowed is None:
             return inbox
-        if inbox.senders <= allowed:
-            # Nothing to strip — reuse the (possibly shared) inbox as-is
-            # instead of rebuilding it pair by pair.
-            return inbox
-        return Inbox.from_pairs(
-            (sender, payload)
-            for sender, payload in inbox.items()
-            if sender in allowed
+        # Restriction is memoized on the (possibly shared) inbox keyed by
+        # the allowed set, so nodes with the same membership view share one
+        # filtered inbox — and one scan index built on it — per round.
+        return inbox.restricted(allowed)
+
+    def _materialize(
+        self, instance: Hashable, opinion: Hashable, started_phase: int
+    ) -> _InstanceState:
+        state = _InstanceState(
+            instance=instance, opinion=opinion, started_phase=started_phase
         )
-
-    def _ensure_instance(self, instance: Hashable, phase: int) -> _InstanceState | None:
-        """Create the instance state when a message for a new identifier is
-        first heard — only allowed during the first phase (rule 1)."""
-
-        state = self._instances.get(instance)
-        if state is not None:
-            return state
-        if phase > 1:
-            return None
-        state = _InstanceState(instance=instance, opinion=BOTTOM, started_phase=phase)
         self._instances[instance] = state
         self._undecided += 1
         self._sorted_cache = None
         return state
+
+    def _ensure_instance(self, instance: Hashable, phase: int) -> _InstanceState | None:
+        """Create the instance state on first touch of an identifier.
+
+        A pending input pair materialises whenever it is touched; a
+        message-only identifier is only allowed to start an instance during
+        the first phase (rule 1).
+        """
+
+        state = self._instances.get(instance)
+        if state is not None:
+            return state
+        pending = self._pending_inputs
+        if pending:
+            opinion = pending.pop(instance, None)
+            if opinion is not None:
+                return self._materialize(instance, opinion, started_phase=1)
+        if phase > 1:
+            return None
+        return self._materialize(instance, BOTTOM, started_phase=phase)
 
     def _scanned_instances(self, type_key: str) -> list[Hashable]:
         """Identifiers that delivered a *valued* message of ``type_key``."""
@@ -463,6 +486,12 @@ class ParallelConsensusEngine:
 
     def _phase_round_one(self, inbox: Inbox, local_round: int) -> list[Payload]:
         payloads: list[Payload] = []
+        if self._pending_inputs:
+            # First input touch: the input pairs must speak this round, so
+            # every still-pending identifier materialises now.
+            for instance, opinion in self._pending_inputs.items():
+                self._materialize(instance, opinion, started_phase=1)
+            self._pending_inputs.clear()
         for state in self._sorted_states():
             if not state.active:
                 continue

@@ -23,20 +23,42 @@ Two classes are exported:
 * :class:`RotorCoordinatorProcess` — the standalone process matching the
   paper's Algorithm 2 one-round-per-loop-iteration presentation, used by
   experiment E2.
+
+Wire format: a node's per-round echoes travel as a single delta-coded
+:class:`CandidateGossip` (the ``adds`` since its previous gossip, plus a
+periodic full-set anchor with a cached digest) instead of one
+:class:`RotorEcho` broadcast per candidate — during initialization that is
+the difference between O(n³) and O(n²) wire messages system-wide.  Quorum
+counting decodes the deltas only, so the candidate-set dynamics are
+bit-identical to the per-candidate encoding; legacy ``RotorEcho`` payloads
+remain accepted inbound.  See :class:`GossipEncoder`/:class:`GossipDecoder`
+and the wire-format notes in :mod:`repro.sim.messages`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import Hashable, Iterable, Sequence
 
-from ..sim.messages import Broadcast, Inbox, NodeId, Outgoing, Payload
+from ..sim.messages import (
+    Broadcast,
+    Inbox,
+    NodeId,
+    Outgoing,
+    Payload,
+    cached_payload_hash,
+    intern_payload,
+)
 from ..sim.node import KnownSenders, Process, RoundView
 from .quorums import meets_one_third, meets_two_thirds
 
 __all__ = [
     "RotorInit",
     "RotorEcho",
+    "CandidateGossip",
+    "GossipEncoder",
+    "GossipDecoder",
+    "GOSSIP_ANCHOR_PERIOD",
     "Opinion",
     "SelectionRecord",
     "RotorRoundOutcome",
@@ -52,9 +74,138 @@ class RotorInit:
 
 @dataclass(frozen=True)
 class RotorEcho:
-    """``echo(p)`` — a vote that node ``p`` announced itself."""
+    """``echo(p)`` — a vote that node ``p`` announced itself.
+
+    Legacy single-candidate wire format: still accepted on the inbound
+    path (hand-built inboxes, Byzantine strategies), but correct nodes
+    pack their per-round echoes into one :class:`CandidateGossip`.
+    """
 
     candidate: NodeId
+
+
+#: Every ``GOSSIP_ANCHOR_PERIOD``-th gossip a node emits carries a full-set
+#: anchor, so a receiver that missed earlier deltas can resynchronise.
+GOSSIP_ANCHOR_PERIOD = 4
+
+
+@cached_payload_hash
+@dataclass(frozen=True)
+class CandidateGossip:
+    """Delta-coded candidate gossip: one payload per node per round.
+
+    ``adds`` are the candidates this sender newly echoes *this round* — the
+    delta since its previous gossip — and carry exactly the per-round
+    support one ``RotorEcho`` per candidate used to: quorum counting in
+    :func:`_build_echo_index` reads ``adds`` only, so the candidate-set
+    dynamics are bit-identical to the legacy encoding while the wire cost
+    of the initialization echo wave drops from O(n) payloads per sender to
+    one.
+
+    ``anchor``, present on every :data:`GOSSIP_ANCHOR_PERIOD`-th emission,
+    is the sender's full echoed set (sorted, including this round's adds).
+    Anchors contribute **no** per-round support — they exist so a
+    :class:`GossipDecoder` that missed deltas (late join, filtering,
+    partitions) can deterministically reconstruct the sender's full set,
+    and their digest is cached because receivers compare it against their
+    reconstruction instead of re-deriving the set.
+    """
+
+    adds: tuple[NodeId, ...]
+    anchor: tuple[NodeId, ...] | None = None
+
+    def anchor_digest(self) -> int | None:
+        """Cached digest of the full-set anchor (``None`` without one).
+
+        A cheap fingerprint for logging/comparison; resynchronisation
+        decisions compare the sets themselves (digests can collide).  The
+        ``_wire`` prefix keeps the cache out of pickles like every other
+        wire cache (see :func:`~repro.sim.messages.cached_payload_hash`).
+        """
+
+        if self.anchor is None:
+            return None
+        cached = self.__dict__.get("_wire_anchor_digest")
+        if cached is None:
+            cached = hash(self.anchor)
+            object.__setattr__(self, "_wire_anchor_digest", cached)
+        return cached
+
+
+class GossipEncoder:
+    """Delta-codes a node's outgoing candidate echoes.
+
+    Tracks the full set of candidates echoed so far; :meth:`emit` turns one
+    round's newly-echoed candidates into a single interned
+    :class:`CandidateGossip`, attaching the full-set anchor every
+    :data:`GOSSIP_ANCHOR_PERIOD`-th emission.
+    """
+
+    __slots__ = ("_echoed", "_emitted")
+
+    def __init__(self) -> None:
+        self._echoed: set[NodeId] = set()
+        self._emitted = 0
+
+    @property
+    def echoed(self) -> frozenset[NodeId]:
+        """Every candidate this encoder has gossiped about so far."""
+
+        return frozenset(self._echoed)
+
+    def emit(self, adds: Iterable[NodeId]) -> CandidateGossip | None:
+        """Encode one round's echoes; ``None`` when there is nothing to say."""
+
+        adds = tuple(adds)
+        if not adds:
+            return None
+        self._echoed.update(adds)
+        self._emitted += 1
+        anchor = None
+        if self._emitted % GOSSIP_ANCHOR_PERIOD == 0:
+            anchor = tuple(sorted(self._echoed))
+        return intern_payload(CandidateGossip(adds=adds, anchor=anchor))
+
+
+class GossipDecoder:
+    """Reconstructs each sender's full echoed set from its gossip stream.
+
+    The per-round protocol logic never needs this — quorum counting uses
+    the deltas directly — but diagnostics, tooling and the wire-format
+    property tests do: applying a sender's deltas in order reproduces its
+    full set exactly, and after any gap the next anchor restores it.  The
+    resync check compares the anchored *set* against the reconstruction
+    (digests are fingerprints for logging only: they can collide, and a
+    Byzantine sender may forge one).  Deterministic for arbitrary —
+    including Byzantine — gossip streams.
+    """
+
+    __slots__ = ("_by_sender",)
+
+    def __init__(self) -> None:
+        self._by_sender: dict[NodeId, set[NodeId]] = {}
+
+    @property
+    def senders(self) -> frozenset[NodeId]:
+        return frozenset(self._by_sender)
+
+    def full_set(self, sender: NodeId) -> frozenset[NodeId]:
+        """The reconstructed echoed set of ``sender`` so far."""
+
+        return frozenset(self._by_sender.get(sender, ()))
+
+    def observe(self, sender: NodeId, gossip: CandidateGossip) -> None:
+        state = self._by_sender.get(sender)
+        if state is None:
+            self._by_sender[sender] = state = set()
+        if gossip.anchor is not None:
+            # Resync only when we actually diverged; a correct stream
+            # received without gaps always matches.  Exact set comparison —
+            # never the digest, which can collide (or be forged).
+            if (state | set(gossip.adds)) != set(gossip.anchor):
+                state.clear()
+                state.update(gossip.anchor)
+        state.update(gossip.adds)
 
 
 @dataclass(frozen=True)
@@ -110,17 +261,22 @@ def _build_echo_index(inbox: Inbox) -> dict[NodeId, set[NodeId]]:
     """``candidate -> distinct echo senders`` for one round's inbox.
 
     A pure derivation of the inbox contents, memoized on the inbox
-    (:meth:`~repro.sim.messages.Inbox.memo`).  During the echo rounds of an
-    embedded engine the per-instance inbox carries O(n²) payload items
-    (every sender echoes every candidate); sharing the single scan across
-    all receivers of the same inbox is what keeps candidate maintenance
-    quadratic instead of cubic system-wide.  Consumers must not mutate the
+    (:meth:`~repro.sim.messages.Inbox.memo`) so the scan happens once per
+    shared inbox rather than once per receiver.  Support comes from the
+    ``adds`` of :class:`CandidateGossip` payloads (one per correct sender
+    per round) plus any legacy per-candidate :class:`RotorEcho` payloads;
+    gossip anchors are deliberately *not* counted — they re-state old
+    echoes for resynchronisation, and counting them would let a replayed
+    anchor manufacture fresh support.  Consumers must not mutate the
     returned sets.
     """
 
     support: dict[NodeId, set[NodeId]] = {}
     for sender, payload in inbox.items():
-        if isinstance(payload, RotorEcho):
+        if isinstance(payload, CandidateGossip):
+            for candidate in payload.adds:
+                support.setdefault(candidate, set()).add(sender)
+        elif isinstance(payload, RotorEcho):
             support.setdefault(payload.candidate, set()).add(sender)
     return support
 
@@ -147,6 +303,7 @@ class RotorCoordinatorCore:
         self._selection_round = 0  # the loop variable r of Algorithm 2
         self._last_selected: NodeId | None = None
         self._terminated = False
+        self._gossip = GossipEncoder()  # delta-codes outgoing echoes
 
     # -- introspection ---------------------------------------------------------
 
@@ -185,15 +342,23 @@ class RotorCoordinatorCore:
     # -- initialization (the first two lines of Algorithm 2) ----------------------
 
     def init_round_one(self) -> list[Payload]:
-        """Round 1: broadcast ``init``."""
+        """Round 1: broadcast ``init`` (interned — one instance system-wide)."""
 
-        return [RotorInit()]
+        return [intern_payload(RotorInit())]
 
     def init_round_two(self, inbox: Inbox) -> list[Payload]:
-        """Round 2: broadcast ``echo(p)`` for every ``p`` whose ``init`` arrived."""
+        """Round 2: gossip ``echo(p)`` for every ``p`` whose ``init`` arrived.
+
+        The echoes for the whole init wave — O(n) candidates — travel as
+        the ``adds`` of a single :class:`CandidateGossip` instead of one
+        ``RotorEcho`` broadcast per candidate.  Every correct node emits
+        the same gossip here, so interning collapses the round's dominant
+        payload to one canonical instance with one cached digest.
+        """
 
         self._known.observe(inbox)
-        return [RotorEcho(sender) for sender in inbox.memo(_INIT_KEY, _build_init_index)]
+        gossip = self._gossip.emit(inbox.memo(_INIT_KEY, _build_init_index))
+        return [] if gossip is None else [gossip]
 
     # -- per-round candidate maintenance (Algorithm 2, lines 7–15) ------------------
 
@@ -216,7 +381,7 @@ class RotorCoordinatorCore:
             # shared index it makes candidate maintenance O(1) per round.
             return []
 
-        relays: list[Payload] = []
+        relays: list[NodeId] = []
         accepted: list[NodeId] = []
         candidate_set = self._candidate_set
         for candidate in sorted(support):
@@ -224,7 +389,7 @@ class RotorCoordinatorCore:
                 continue
             senders = support[candidate]
             if meets_one_third(len(senders), nv):
-                relays.append(RotorEcho(candidate))
+                relays.append(candidate)
             if meets_two_thirds(len(senders), nv):
                 accepted.append(candidate)
         if accepted:
@@ -233,7 +398,11 @@ class RotorCoordinatorCore:
             candidate_set.update(accepted)
             self._candidates.extend(accepted)
             self._candidates.sort()
-        return relays
+        # The round's relays travel as one delta-coded gossip payload; the
+        # per-candidate support a receiver derives from it is identical to
+        # one RotorEcho per relayed candidate.
+        gossip = self._gossip.emit(relays)
+        return [] if gossip is None else [gossip]
 
     # -- selection rounds (Algorithm 2, lines 16–29) ---------------------------------
 

@@ -34,7 +34,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Mapping, Sequence
 
-from ..sim.messages import Broadcast, Inbox, NodeId, Outgoing, Payload, Unicast
+from ..sim.messages import (
+    Broadcast,
+    Inbox,
+    NodeId,
+    Outgoing,
+    Payload,
+    Unicast,
+    cached_payload_hash,
+    intern_payload,
+)
 from ..sim.node import Process, RoundView
 from .parallel_consensus import ParallelConsensusEngine
 
@@ -89,6 +98,7 @@ class PCWrap:
     payload: Payload
 
 
+@cached_payload_hash
 @dataclass(frozen=True)
 class PCBatch:
     """All of a node's parallel-consensus traffic for one round.
@@ -100,18 +110,15 @@ class PCBatch:
     which dominated both the network's per-message bookkeeping and the
     inbox dedup hashing once chains grew past a few dozen rounds.
 
-    The structural hash is cached: inbox deduplication hashes each payload
-    at least once per receiver, and a batch is a large nested tuple.
+    The structural hash of this large nested tuple is cached
+    (:func:`~repro.sim.messages.cached_payload_hash`), and the batch is
+    interned before broadcast: in the common steady state every node emits
+    the same consensus traffic for the same event set, so the round's
+    batches collapse onto one canonical instance whose digest is computed
+    once system-wide.
     """
 
     groups: tuple[tuple[int, tuple[Payload, ...]], ...]
-
-    def __hash__(self) -> int:
-        cached = self.__dict__.get("_hash")
-        if cached is None:
-            cached = hash(self.groups)
-            object.__setattr__(self, "_hash", cached)
-        return cached
 
 
 @dataclass(frozen=True)
@@ -409,8 +416,9 @@ class TotalOrderProcess(Process):
                 record.decided_outputs = dict(engine.outputs)
                 record.engine = None
         if groups:
-            # One batched wrapper broadcast per round, not one per payload.
-            outgoing.append(Broadcast(PCBatch(tuple(groups))))
+            # One batched wrapper broadcast per round, not one per payload;
+            # interning collapses the identical batches most nodes emit.
+            outgoing.append(Broadcast(intern_payload(PCBatch(tuple(groups)))))
 
         # -- 6. finality and chain output -------------------------------------------
         self._update_chain(round_number)

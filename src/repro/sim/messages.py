@@ -1,4 +1,4 @@
-"""Message model for the synchronous round-based system.
+"""Message model and wire format for the synchronous round-based system.
 
 The paper's model (Section IV, the *id-only model*) has these properties,
 all of which are encoded here or in :mod:`repro.sim.network`:
@@ -14,13 +14,49 @@ all of which are encoded here or in :mod:`repro.sim.network`:
   this is enforced by :class:`Inbox`, which stores at most one copy of each
   distinct payload per sender per round.
 
-Payloads are ordinary hashable Python values.  Protocol implementations in
+The wire-format contract
+------------------------
+Payloads are ordinary hashable Python values; protocol implementations in
 :mod:`repro.core` use small frozen dataclasses (e.g. ``Echo``, ``Prefer``)
-so that payload equality is structural and hashable.
+so that payload equality is structural and hashable.  Payloads whose size
+grows with ``n`` must additionally follow the compact wire format this
+module provides the building blocks for:
+
+* **Cached digests** — an O(n)-sized payload is hashed many times on its
+  way through the system (inbox deduplication per receiver, memoized index
+  builds, intern lookups).  Decorating the frozen dataclass with
+  :func:`cached_payload_hash` computes the structural hash once per
+  instance and caches it on the object; the cache is stripped on pickling
+  because Python string hashing is salted per process.
+* **Interning** — identical payloads are routinely produced by *every*
+  node in a round (candidate gossip during initialization, batched
+  consensus traffic over a common event set).  :func:`intern_payload`
+  collapses them onto one canonical instance in a process-wide table, so
+  the digest is computed once system-wide and duplicate copies share
+  memory.  Interning is semantics-free: equality and hashing behave
+  exactly as without it.
+* **Delta coding** — a payload that re-states an ever-growing set every
+  round is wrong at the wire level; senders must announce *changes* plus
+  a periodic full-set anchor instead.  The concrete instance of this
+  pattern is candidate gossip
+  (:class:`repro.core.rotor_coordinator.CandidateGossip` with its
+  ``GossipEncoder``/``GossipDecoder``): candidate-set *adds* per round,
+  a full sorted anchor with a cached digest every few emissions, and a
+  deterministic receiver-side reconstruction.
+* **Byte accounting** — :func:`payload_nbytes` reports (and caches) the
+  serialised size of a payload, which the network uses for the opt-in
+  message-volume metrics tracked by ``benchmarks/bench_scaling.py``.
+
+Derived views of a round's traffic (support indexes, routing tables, the
+``allowed``-sender restriction of :meth:`Inbox.restricted`) are memoized
+*on the inbox* via :meth:`Inbox.memo`: on the synchronous fast path every
+receiver of a broadcast-only round shares one :class:`Inbox` object, so a
+pure derivation is computed once per round instead of once per node.
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping
 
@@ -36,7 +72,124 @@ __all__ = [
     "Envelope",
     "Inbox",
     "InboxBuilder",
+    "cached_payload_hash",
+    "intern_payload",
+    "intern_table_size",
+    "clear_intern_table",
+    "payload_nbytes",
 ]
+
+# ---------------------------------------------------------------------------
+# Wire-format helpers: cached digests, interning, byte accounting
+# ---------------------------------------------------------------------------
+
+#: Prefix shared by every per-instance wire cache attribute.  Anything
+#: starting with it is stripped on pickling — caches must never travel to
+#: another process (string hashes are salted per process) and must not
+#: inflate the serialised size :func:`payload_nbytes` reports.
+_WIRE_CACHE_PREFIX = "_wire"
+
+#: Instance attribute holding a payload's cached structural hash.
+_HASH_ATTR = "_wire_hash"
+
+#: Instance attribute holding a payload's cached serialised size.
+_NBYTES_ATTR = "_wire_nbytes"
+
+
+def cached_payload_hash(cls: type) -> type:
+    """Class decorator caching the structural hash of a frozen dataclass.
+
+    Apply *above* ``@dataclass(frozen=True)`` so the generated structural
+    ``__hash__`` is wrapped.  The hash is computed on first use and stored
+    on the instance; every ``_wire``-prefixed cache attribute (this hash,
+    the :func:`payload_nbytes` size, any payload-specific digest cache) is
+    stripped on pickling because hashes of strings are salted per process
+    and serialised sizes are cheaper to recompute than to trust across
+    processes.
+    """
+
+    structural_hash = cls.__hash__
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get(_HASH_ATTR)
+        if cached is None:
+            cached = structural_hash(self)
+            object.__setattr__(self, _HASH_ATTR, cached)
+        return cached
+
+    def __getstate__(self):
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.startswith(_WIRE_CACHE_PREFIX)
+        }
+
+    cls.__hash__ = __hash__
+    cls.__getstate__ = __getstate__
+    return cls
+
+
+#: Soft cap on the intern table; reaching it clears the table, which is
+#: always safe because interning never affects equality or hashing.
+_INTERN_LIMIT = 1 << 16
+
+_INTERN_TABLE: dict[Payload, Payload] = {}
+
+
+def intern_payload(payload: Payload) -> Payload:
+    """Return the canonical instance of ``payload`` from the intern table.
+
+    The first caller's instance becomes canonical; later structurally-equal
+    payloads (typically the same announcement produced by every node in a
+    round) are dropped in favour of it, so any cached digest is computed
+    once process-wide.  Unhashable values are returned unchanged.
+    """
+
+    table = _INTERN_TABLE
+    try:
+        canonical = table.get(payload)
+    except TypeError:
+        return payload
+    if canonical is None:
+        if len(table) >= _INTERN_LIMIT:
+            table.clear()
+        table[payload] = canonical = payload
+    return canonical
+
+
+def intern_table_size() -> int:
+    """Number of canonical payloads currently interned."""
+
+    return len(_INTERN_TABLE)
+
+
+def clear_intern_table() -> None:
+    """Drop every canonical payload (safe at any time; see the module docs)."""
+
+    _INTERN_TABLE.clear()
+
+
+def payload_nbytes(payload: Payload) -> int:
+    """The serialised size of ``payload`` in bytes (cached when possible).
+
+    Sizes are measured with :mod:`pickle` (highest protocol) and exclude
+    envelope overhead, so they track the *payload* cost a real transport
+    would pay per copy.  The measurement is cached on instances that allow
+    attribute assignment (the frozen payload dataclasses do).
+    """
+
+    instance_dict = getattr(payload, "__dict__", None)
+    if instance_dict is not None:
+        cached = instance_dict.get(_NBYTES_ATTR)
+        if cached is not None:
+            return cached
+    nbytes = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    if instance_dict is not None:
+        try:
+            object.__setattr__(payload, _NBYTES_ATTR, nbytes)
+        except (AttributeError, TypeError):
+            pass
+    return nbytes
 
 
 @dataclass(frozen=True)
@@ -191,6 +344,32 @@ class Inbox:
             cache[key] = value
             return value
 
+    def restricted(self, allowed: frozenset[NodeId]) -> "Inbox":
+        """This inbox with only the messages from ``allowed`` senders.
+
+        Returns ``self`` when nothing needs stripping (the common case —
+        protocols restrict to their known-sender sets, which usually cover
+        everyone who spoke).  Otherwise the restriction is built once and
+        memoized on this inbox keyed by ``allowed``, so on the synchronous
+        fast path every node applying the same filter to the shared inbox
+        reuses one restricted view — including its own memo cache, which is
+        what lets downstream index builds stay once-per-round even in runs
+        where Byzantine senders must be stripped.
+        """
+
+        if self.senders <= allowed:
+            return self
+
+        def build(inbox: "Inbox") -> "Inbox":
+            kept = {
+                sender: payloads
+                for sender, payloads in inbox._by_sender.items()
+                if sender in allowed
+            }
+            return Inbox._from_collapsed(kept)
+
+        return self.memo(("wire-restricted", allowed), build)
+
     # -- protocol-oriented queries ----------------------------------------
 
     def senders_of(self, payload: Payload) -> frozenset[NodeId]:
@@ -250,6 +429,17 @@ class Inbox:
         for sender, payload in pairs:
             by_sender.setdefault(sender, []).append(payload)
         return Inbox(by_sender)
+
+    @classmethod
+    def _from_collapsed(cls, by_sender: dict[NodeId, tuple[Payload, ...]]) -> "Inbox":
+        """Wrap already-deduplicated per-sender tuples without re-hashing."""
+
+        inbox = cls.__new__(cls)
+        inbox._by_sender = by_sender
+        inbox._size = -1
+        inbox._senders = None
+        inbox._memo = None
+        return inbox
 
 
 _EMPTY_INBOX = Inbox()

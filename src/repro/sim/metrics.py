@@ -29,6 +29,9 @@ class RoundMetrics:
     active_nodes: int = 0
     byzantine_nodes: int = 0
     halted_nodes: int = 0
+    #: Serialised payload bytes sent this round (all copies); stays 0 unless
+    #: the network's payload accounting is enabled.
+    payload_bytes: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -40,6 +43,7 @@ class RoundMetrics:
             "active_nodes": self.active_nodes,
             "byzantine_nodes": self.byzantine_nodes,
             "halted_nodes": self.halted_nodes,
+            "payload_bytes": self.payload_bytes,
         }
 
 
@@ -60,6 +64,9 @@ class RunMetrics:
     per_node_sent: Counter = field(default_factory=Counter)
     per_node_delivered: Counter = field(default_factory=Counter)
     decisions: list[DecisionRecord] = field(default_factory=list)
+    #: Largest single payload seen (serialised bytes); 0 unless payload
+    #: accounting is enabled on the network.
+    peak_payload_bytes: int = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -103,6 +110,20 @@ class RunMetrics:
             per_node[node_id] += count
         self.rounds[-1].messages_delivered += total
 
+    def record_payload(self, nbytes: int, copies: int) -> None:
+        """Account one send action's payload: ``nbytes`` × ``copies`` wire bytes.
+
+        Called by every engine kernel next to :meth:`record_send` when the
+        network's payload accounting is enabled, so byte totals are
+        engine-independent just like message counts.
+        """
+
+        if not self.rounds:
+            return
+        self.rounds[-1].payload_bytes += nbytes * copies
+        if nbytes > self.peak_payload_bytes:
+            self.peak_payload_bytes = nbytes
+
     def record_decision(self, node_id: NodeId, round_index: int, value: Any) -> None:
         self.decisions.append(DecisionRecord(node_id, round_index, value))
 
@@ -119,6 +140,10 @@ class RunMetrics:
     @property
     def total_broadcasts(self) -> int:
         return sum(r.broadcasts for r in self.rounds)
+
+    @property
+    def total_payload_bytes(self) -> int:
+        return sum(r.payload_bytes for r in self.rounds)
 
     def messages_per_round(self) -> list[int]:
         return [r.messages_sent for r in self.rounds]
@@ -148,6 +173,8 @@ class RunMetrics:
             "rounds": self.total_rounds,
             "messages": self.total_messages,
             "broadcasts": self.total_broadcasts,
+            "payload_bytes": self.total_payload_bytes,
+            "peak_payload_bytes": self.peak_payload_bytes,
             "decisions": len(self.decision_rounds()),
             "last_decision_round": self.latest_decision_round(),
         }

@@ -82,7 +82,16 @@ from .errors import (
     RoundLimitExceeded,
 )
 from .events import EventKind, Trace, TraceEvent
-from .messages import Broadcast, Envelope, Inbox, InboxBuilder, NodeId, Outgoing, Unicast
+from .messages import (
+    Broadcast,
+    Envelope,
+    Inbox,
+    InboxBuilder,
+    NodeId,
+    Outgoing,
+    Unicast,
+    payload_nbytes,
+)
 from .metrics import RunMetrics
 from .node import Process, RoundView
 from .rng import make_rng
@@ -266,6 +275,9 @@ class SynchronousNetwork:
         #: engine re-sorted up to ``2 + broadcasts`` times per round; the
         #: regression test pins this to one rebuild per membership event.
         self.sorted_rebuilds = 0
+        #: Opt-in wire-volume accounting (serialised payload bytes); see
+        #: :meth:`enable_payload_accounting`.
+        self._measure_bytes = False
         self._engine = "auto"
         env = os.environ.get(ENGINE_ENV_VAR, "").strip()
         if engine == "auto" and env:
@@ -308,6 +320,17 @@ class SynchronousNetwork:
         if self._engine != "auto":
             return self._engine
         return "fast" if self._delay_model.synchronous else "queue"
+
+    def enable_payload_accounting(self) -> None:
+        """Record serialised payload bytes alongside the message counters.
+
+        Every kernel accounts identically (per send action, next to the
+        message-count bookkeeping), so byte totals are engine-independent.
+        Off by default: sizing a payload costs a pickle per action, which
+        the throughput benchmarks must not pay on their timed runs.
+        """
+
+        self._measure_bytes = True
 
     # -- registration / membership ----------------------------------------------
 
@@ -533,6 +556,7 @@ class SynchronousNetwork:
         broadcast_dests: tuple[NodeId, ...] | None = None
         trace = self._trace
         record_send = self._metrics.record_send
+        measure_bytes = self._measure_bytes
         for node_id, actions in outgoing_by_node.items():
             for action in actions:
                 if isinstance(action, Broadcast):
@@ -547,6 +571,10 @@ class SynchronousNetwork:
                     record_send(node_id, 1, broadcast=False)
                 else:
                     raise InvalidOutgoingError(node_id, action)
+                if measure_bytes:
+                    self._metrics.record_payload(
+                        payload_nbytes(action.payload), len(dests)
+                    )
                 staged.append((node_id, action.payload, dests))
                 if trace.enabled:
                     for dest in dests:
@@ -671,10 +699,16 @@ class SynchronousNetwork:
         if isinstance(action, Broadcast):
             destinations = self._active_sorted()
             self._metrics.record_send(sender, len(destinations), broadcast=True)
+            if self._measure_bytes:
+                self._metrics.record_payload(
+                    payload_nbytes(action.payload), len(destinations)
+                )
             for dest in destinations:
                 self._enqueue(sender, dest, action.payload, round_index)
         elif isinstance(action, Unicast):
             self._metrics.record_send(sender, 1, broadcast=False)
+            if self._measure_bytes:
+                self._metrics.record_payload(payload_nbytes(action.payload), 1)
             self._enqueue(sender, action.dest, action.payload, round_index)
         else:
             raise InvalidOutgoingError(sender, action)
@@ -792,10 +826,16 @@ class SynchronousNetwork:
         if isinstance(action, Broadcast):
             destinations = sorted(self._active)
             self._metrics.record_send(sender, len(destinations), broadcast=True)
+            if self._measure_bytes:
+                self._metrics.record_payload(
+                    payload_nbytes(action.payload), len(destinations)
+                )
             for dest in destinations:
                 self._enqueue_legacy(sender, dest, action.payload, round_index)
         elif isinstance(action, Unicast):
             self._metrics.record_send(sender, 1, broadcast=False)
+            if self._measure_bytes:
+                self._metrics.record_payload(payload_nbytes(action.payload), 1)
             self._enqueue_legacy(sender, action.dest, action.payload, round_index)
         else:
             raise InvalidOutgoingError(sender, action)

@@ -125,12 +125,12 @@ class KnownSenders:
     protocol code reads like the pseudocode.
     """
 
-    __slots__ = ("_ids", "_frozen", "_frozen_view")
+    __slots__ = ("_ids", "_frozen", "_view")
 
     def __init__(self) -> None:
         self._ids: set[NodeId] = set()
         self._frozen = False
-        self._frozen_view: frozenset[NodeId] | None = None
+        self._view: frozenset[NodeId] | None = None
 
     def observe(self, inbox: Inbox) -> None:
         """Record every sender in ``inbox``.
@@ -141,7 +141,10 @@ class KnownSenders:
         """
 
         if not self._frozen:
+            before = len(self._ids)
             self._ids.update(inbox.senders)
+            if len(self._ids) != before:
+                self._view = None
 
     def freeze(self) -> None:
         """Stop growing the set (used after the init rounds of Alg. 3/5)."""
@@ -160,15 +163,19 @@ class KnownSenders:
 
     @property
     def ids(self) -> frozenset[NodeId]:
-        if self._frozen:
-            # The set can no longer change: build the frozen view once.
-            # Quorum counting queries this every support count, so the
-            # rebuild shows up at scale.
-            view = self._frozen_view
-            if view is None:
-                view = self._frozen_view = frozenset(self._ids)
-            return view
-        return frozenset(self._ids)
+        """A stable frozen view, rebuilt only when the set actually grew.
+
+        Quorum counting queries this every support count, and the wire
+        layer uses it as the memo key of the shared
+        :meth:`~repro.sim.messages.Inbox.restricted` filter — returning the
+        same object (with frozenset's internally cached hash) keeps those
+        lookups cheap at scale.
+        """
+
+        view = self._view
+        if view is None:
+            view = self._view = frozenset(self._ids)
+        return view
 
     def __contains__(self, node_id: NodeId) -> bool:
         return node_id in self._ids

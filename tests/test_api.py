@@ -25,7 +25,12 @@ from repro.api import (
     run_sweep,
 )
 from repro.harness import run_experiment
-from repro.workloads import consensus_system
+from repro.workloads import (
+    approximate_agreement_system,
+    consensus_system,
+    reliable_broadcast_system,
+    rotor_coordinator_system,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -324,6 +329,32 @@ class TestDeprecatedShims:
             )
         )
         assert legacy_run.decided_outputs() == modern.result.decided_outputs()
+        assert legacy_run.metrics.total_messages == modern.messages
+
+    @pytest.mark.parametrize(
+        "shim,protocol,kwargs,max_rounds",
+        [
+            (reliable_broadcast_system, "reliable-broadcast", {}, 12),
+            (rotor_coordinator_system, "rotor-coordinator", {}, 50),
+            (approximate_agreement_system, "approximate-agreement", {}, 8),
+        ],
+    )
+    def test_every_shim_warns_and_is_execution_identical(
+        self, shim, protocol, kwargs, max_rounds
+    ):
+        """Each PR-1 ``*_system`` shim must emit a DeprecationWarning naming
+        itself and build the exact system the declarative API builds."""
+
+        with pytest.warns(DeprecationWarning, match=shim.__name__):
+            legacy = shim(7, 2, seed=31, **kwargs)
+        legacy_run = legacy.network.run(max_rounds=max_rounds)
+        modern = run_scenario(
+            ScenarioSpec(
+                protocol=protocol, n=7, f=2, seed=31, max_rounds=max_rounds
+            )
+        )
+        assert legacy_run.outputs() == modern.result.outputs()
+        assert legacy_run.rounds_executed == modern.result.rounds_executed
         assert legacy_run.metrics.total_messages == modern.messages
 
     def test_shim_accepts_explicit_inputs(self):

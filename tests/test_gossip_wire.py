@@ -1,0 +1,148 @@
+"""Property tests for the delta-coded candidate-gossip wire format.
+
+The wire contract (see :mod:`repro.core.rotor_coordinator`):
+
+* a node's per-round echoes travel as the ``adds`` of one
+  :class:`CandidateGossip`, carrying exactly the per-round support the
+  legacy one-``RotorEcho``-per-candidate encoding carried;
+* every :data:`GOSSIP_ANCHOR_PERIOD`-th gossip carries a full-set anchor
+  (with a cached digest) so a receiver that missed deltas can reconstruct
+  the sender's exact full set;
+* decoding is deterministic for arbitrary — including Byzantine — streams.
+
+The properties below drive random candidate churn, random message
+filtering (dropped gossips) and Byzantine senders through the encoder /
+decoder pair and through two :class:`RotorCoordinatorCore` instances fed
+the gossip vs the equivalent full per-candidate baseline, asserting
+``decode(encode(·)) ≡ full-set baseline`` at both layers.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rotor_coordinator import (
+    GOSSIP_ANCHOR_PERIOD,
+    CandidateGossip,
+    GossipDecoder,
+    GossipEncoder,
+    RotorCoordinatorCore,
+    RotorEcho,
+    RotorInit,
+)
+from repro.sim import Inbox
+
+# A round's newly-echoed candidates: small ids so churn revisits candidates.
+adds_rounds = st.lists(
+    st.lists(st.integers(0, 12), min_size=0, max_size=4), min_size=1, max_size=20
+)
+
+
+@given(adds=adds_rounds)
+def test_decoder_reconstructs_exact_full_set_without_drops(adds):
+    encoder = GossipEncoder()
+    decoder = GossipDecoder()
+    for round_adds in adds:
+        gossip = encoder.emit(round_adds)
+        if gossip is None:
+            assert not round_adds
+            continue
+        decoder.observe(1, gossip)
+        # With no drops the reconstruction tracks the encoder exactly,
+        # anchor rounds and delta rounds alike.
+        assert decoder.full_set(1) == encoder.echoed
+
+
+@given(adds=adds_rounds, drops=st.sets(st.integers(0, 19)))
+def test_decoder_recovers_after_drops_at_every_anchor(adds, drops):
+    """Random message filtering: each anchor restores the exact full set."""
+
+    encoder = GossipEncoder()
+    decoder = GossipDecoder()
+    emitted = 0
+    for index, round_adds in enumerate(adds):
+        gossip = encoder.emit(round_adds)
+        if gossip is None:
+            continue
+        emitted += 1
+        if index in drops:
+            continue
+        decoder.observe(1, gossip)
+        if gossip.anchor is not None:
+            assert decoder.full_set(1) == encoder.echoed
+        else:
+            # Deltas only ever add real echoes: no fabricated members.
+            assert decoder.full_set(1) <= encoder.echoed
+    assert emitted <= len(adds)
+
+
+@settings(deadline=None)
+@given(
+    # sender -> candidates echoed per round (correct senders), over rounds
+    rounds=st.lists(
+        st.dictionaries(
+            st.integers(1, 6), st.sets(st.integers(1, 9), max_size=4), max_size=6
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    # (round, sender) deliveries dropped by the network, identically for
+    # both encodings (the model loses *messages*, not encodings)
+    dropped=st.sets(st.tuples(st.integers(0, 7), st.integers(1, 6))),
+    # Byzantine junk: senders 7-9 emit arbitrary adds/anchors
+    byz=st.lists(
+        st.tuples(
+            st.integers(0, 7),
+            st.integers(7, 9),
+            st.sets(st.integers(1, 9), max_size=3),
+            st.one_of(st.none(), st.sets(st.integers(1, 9), max_size=4)),
+        ),
+        max_size=6,
+    ),
+)
+def test_core_candidate_sets_match_full_set_baseline(rounds, dropped, byz):
+    """Per-round gossip support ≡ the full per-candidate echo baseline."""
+
+    gossip_core = RotorCoordinatorCore(1)
+    legacy_core = RotorCoordinatorCore(1)
+    init = [(s, RotorInit()) for s in (1, 2, 3, 4, 5, 6)]
+    gossip_core.init_round_two(Inbox.from_pairs(init))
+    legacy_core.init_round_two(Inbox.from_pairs(init))
+    encoders = {sender: GossipEncoder() for sender in range(1, 7)}
+
+    for round_index, echoes_by_sender in enumerate(rounds):
+        gossip_pairs = []
+        legacy_pairs = []
+        for sender, candidates in sorted(echoes_by_sender.items()):
+            if (round_index, sender) in dropped:
+                continue
+            gossip = encoders[sender].emit(sorted(candidates))
+            if gossip is None:
+                continue
+            gossip_pairs.append((sender, gossip))
+            # The baseline sender ships one RotorEcho per candidate of the
+            # *same delta* — the legacy encoding of the same logical round.
+            legacy_pairs.extend(
+                (sender, RotorEcho(candidate)) for candidate in gossip.adds
+            )
+        for br, sender, adds, anchor in byz:
+            if br != round_index or (round_index, sender) in dropped:
+                continue
+            payload = CandidateGossip(
+                adds=tuple(sorted(adds)),
+                anchor=None if anchor is None else tuple(sorted(anchor)),
+            )
+            gossip_pairs.append((sender, payload))
+            # Anchors carry no support, so the baseline equivalent of a
+            # Byzantine gossip is its adds only; an adds-less gossip still
+            # makes the sender count towards nv, so the baseline sender
+            # must speak too (with junk) to keep the quorum denominators
+            # aligned.
+            if payload.adds:
+                legacy_pairs.extend((sender, RotorEcho(c)) for c in payload.adds)
+            else:
+                legacy_pairs.append((sender, "byzantine-junk"))
+        gossip_core.observe(Inbox.from_pairs(gossip_pairs))
+        legacy_core.observe(Inbox.from_pairs(legacy_pairs))
+        assert gossip_core.candidates == legacy_core.candidates
+        assert gossip_core.nv == legacy_core.nv

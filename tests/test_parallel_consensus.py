@@ -133,3 +133,48 @@ class TestEngineUnit:
         engine.step(2, Inbox.from_pairs([(99, PCInput("x", 7))]))
         # Sender 99 is outside the allowed set; nv only counts allowed ids.
         assert 99 not in engine._known.ids or engine.nv <= 2
+
+
+class TestLazyInstanceState:
+    def test_inputs_are_not_materialised_before_their_first_phase_round(self):
+        engine = ParallelConsensusEngine(1, {"x": 5, "y": 6})
+        # The public view exposes the inputs immediately …
+        assert engine.instances == ("x", "y")
+        assert engine.opinion("x") == 5
+        assert not engine.all_decided
+        assert not engine.idle
+        # … but no per-identifier state exists through the init rounds.
+        engine.step(1, Inbox.empty())
+        engine.step(2, Inbox.empty())
+        assert engine._instances == {}
+        # The first phase round is the first input touch: everything
+        # pending materialises and speaks.
+        payloads = engine.step(3, Inbox.empty())
+        assert set(engine._instances) == {"x", "y"}
+        assert [p for p in payloads if isinstance(p, PCInput)] == [
+            PCInput("x", 5),
+            PCInput("y", 6),
+        ]
+
+    def test_engine_killed_before_phase_one_never_allocates_state(self):
+        # The total-order run tail: engines created in the last rounds of a
+        # run step only through their init rounds and are then dropped.
+        engine = ParallelConsensusEngine(1, {f"i{k}": k for k in range(50)})
+        engine.step(1, Inbox.empty())
+        engine.step(2, Inbox.empty())
+        assert engine._instances == {}
+        assert len(engine.instances) == 50
+
+    def test_lazy_engine_matches_eager_outputs(self):
+        # End-to-end: a quorum of unanimous inputs still decides each
+        # instance exactly as before the lazy rewrite.
+        senders = (1, 2, 3, 4)
+        engines = {s: ParallelConsensusEngine(s, {"a": 1, "b": 2}) for s in senders}
+        inbox = Inbox.empty()
+        for local_round in range(1, 9):
+            outgoing = {s: e.step(local_round, inbox) for s, e in engines.items()}
+            inbox = Inbox.from_pairs(
+                [(s, p) for s, payloads in outgoing.items() for p in payloads]
+            )
+        assert all(e.all_decided for e in engines.values())
+        assert all(e.outputs == {"a": 1, "b": 2} for e in engines.values())

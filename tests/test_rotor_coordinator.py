@@ -7,6 +7,10 @@ import pytest
 from repro.analysis import rotor_good_round_exists
 from repro.core.quorums import max_faults_tolerated
 from repro.core.rotor_coordinator import (
+    GOSSIP_ANCHOR_PERIOD,
+    CandidateGossip,
+    GossipDecoder,
+    GossipEncoder,
     Opinion,
     RotorCoordinatorCore,
     RotorEcho,
@@ -20,12 +24,23 @@ def inbox(pairs):
     return Inbox.from_pairs(pairs)
 
 
+def gossiped(payloads):
+    """The candidates announced by a round's delta-coded gossip payloads."""
+
+    announced: list[int] = []
+    for payload in payloads:
+        assert isinstance(payload, CandidateGossip)
+        announced.extend(payload.adds)
+    return announced
+
+
 class TestCore:
     def test_init_rounds(self):
         core = RotorCoordinatorCore(1)
         assert core.init_round_one() == [RotorInit()]
         echoes = core.init_round_two(inbox([(2, RotorInit()), (3, RotorInit()), (3, "junk")]))
-        assert echoes == [RotorEcho(2), RotorEcho(3)]
+        # The whole echo wave travels as one delta-coded gossip payload.
+        assert echoes == [CandidateGossip(adds=(2, 3))]
 
     def test_candidate_added_on_two_thirds_quorum(self):
         core = RotorCoordinatorCore(1)
@@ -34,16 +49,43 @@ class TestCore:
         assert core.candidates == (2,)
         # In the round where the quorum is reached the echo is still relayed
         # (the ``p ∉ Cv`` guard is evaluated before ``p`` joins ``Cv``) …
-        assert RotorEcho(2) in relays
+        assert 2 in gossiped(relays)
         # … but once 2 is a candidate, further echoes for it are not relayed.
         later = core.observe(inbox([(i, RotorEcho(2)) for i in (1, 2, 3, 4)]))
-        assert RotorEcho(2) not in later
+        assert 2 not in gossiped(later)
 
     def test_relay_on_one_third_quorum_without_adding(self):
         core = RotorCoordinatorCore(1)
         core.init_round_two(inbox([(i, RotorInit()) for i in range(1, 10)]))  # nv = 9
         relays = core.observe(inbox([(i, RotorEcho(7)) for i in (1, 2, 3)]))
-        assert RotorEcho(7) in relays
+        assert gossiped(relays) == [7]
+        assert core.candidates == ()
+
+    def test_gossip_and_legacy_echoes_build_identical_candidate_sets(self):
+        """decode(encode(·)): gossip support ≡ one RotorEcho per candidate."""
+
+        legacy = RotorCoordinatorCore(1)
+        modern = RotorCoordinatorCore(1)
+        init = [(i, RotorInit()) for i in (1, 2, 3)]
+        legacy.init_round_two(inbox(init))
+        modern.init_round_two(inbox(init))
+        echoes = {s: (5, 9) for s in (1, 2, 3)}
+        legacy.observe(
+            inbox([(s, RotorEcho(c)) for s, cs in echoes.items() for c in cs])
+        )
+        modern.observe(
+            inbox([(s, CandidateGossip(adds=cs)) for s, cs in echoes.items()])
+        )
+        assert legacy.candidates == modern.candidates == (5, 9)
+
+    def test_gossip_anchor_is_not_counted_as_support(self):
+        core = RotorCoordinatorCore(1)
+        core.init_round_two(inbox([(i, RotorInit()) for i in (1, 2, 3)]))
+        # Every sender *anchors* candidate 5 without freshly adding it; a
+        # replayed anchor must not manufacture quorum support.
+        core.observe(
+            inbox([(s, CandidateGossip(adds=(), anchor=(5,))) for s in (1, 2, 3)])
+        )
         assert core.candidates == ()
 
     def test_candidates_kept_sorted_by_identifier(self):
@@ -95,6 +137,90 @@ class TestCore:
         outcome = core.execute_selection(Inbox.empty(), "op", round_index=3)
         assert outcome.selected is None
         assert not outcome.terminated
+
+
+class TestGossipWireFormat:
+    def test_encoder_emits_nothing_for_empty_rounds(self):
+        encoder = GossipEncoder()
+        assert encoder.emit(()) is None
+        assert encoder.echoed == frozenset()
+
+    def test_encoder_anchor_periodicity_and_contents(self):
+        encoder = GossipEncoder()
+        emitted = [encoder.emit((i,)) for i in range(1, 2 * GOSSIP_ANCHOR_PERIOD + 1)]
+        for index, gossip in enumerate(emitted, start=1):
+            if index % GOSSIP_ANCHOR_PERIOD == 0:
+                # The anchor is the full echoed set including this round's
+                # adds, sorted — and its digest is precomputed and cached.
+                assert gossip.anchor == tuple(range(1, index + 1))
+                assert gossip.anchor_digest() == hash(gossip.anchor)
+            else:
+                assert gossip.anchor is None
+                assert gossip.anchor_digest() is None
+        assert encoder.echoed == frozenset(range(1, 2 * GOSSIP_ANCHOR_PERIOD + 1))
+
+    def test_round2_gossip_is_interned_across_nodes(self):
+        # Every correct node echoes the same init wave, so the round's
+        # dominant payload collapses onto one canonical interned instance.
+        init = inbox([(i, RotorInit()) for i in (4, 5, 6)])
+        first = RotorCoordinatorCore(4).init_round_two(init)
+        second = RotorCoordinatorCore(5).init_round_two(init)
+        assert first == second
+        assert first[0] is second[0]
+
+    def test_decoder_tracks_full_sets_without_gaps(self):
+        encoder = GossipEncoder()
+        decoder = GossipDecoder()
+        for adds in ((1, 2), (3,), (4, 5), (6,)):
+            decoder.observe(7, encoder.emit(adds))
+            assert decoder.full_set(7) == encoder.echoed
+        assert decoder.senders == {7}
+
+    def test_decoder_resyncs_from_anchor_after_dropped_deltas(self):
+        encoder = GossipEncoder()
+        decoder = GossipDecoder()
+        emitted = [encoder.emit((i,)) for i in range(1, GOSSIP_ANCHOR_PERIOD + 1)]
+        # Deliver only the first gossip, drop the middle of the stream …
+        decoder.observe(7, emitted[0])
+        assert decoder.full_set(7) == {1}
+        # … then the anchored gossip restores the exact full set.
+        assert emitted[-1].anchor is not None
+        decoder.observe(7, emitted[-1])
+        assert decoder.full_set(7) == encoder.echoed
+
+    def test_anchor_digest_cache_is_stripped_on_pickling(self):
+        import pickle
+
+        gossip = CandidateGossip(adds=(1,), anchor=(1,))
+        before = pickle.dumps(gossip)
+        gossip.anchor_digest()  # populate the cache
+        hash(gossip)
+        after = pickle.dumps(gossip)
+        # Caches must neither inflate the wire size nor carry a
+        # process-salted hash into sweep workers.
+        assert before == after
+        assert pickle.loads(after).__dict__ == {"adds": (1,), "anchor": (1,)}
+
+    def test_decoder_resync_ignores_digest_collisions(self):
+        # hash((-1,)) == hash((-2,)) in CPython: a digest-based resync
+        # check would skip the resync here.  The decoder must compare sets.
+        decoder = GossipDecoder()
+        decoder.observe(5, CandidateGossip(adds=(-1,), anchor=(-2,)))
+        assert decoder.full_set(5) == {-2, -1}
+
+    def test_decoder_is_deterministic_for_byzantine_streams(self):
+        # Arbitrary (even inconsistent) gossips must decode deterministically:
+        # anchors replace the state, deltas accumulate onto it.
+        stream = (
+            CandidateGossip(adds=(9, 1)),
+            CandidateGossip(adds=(2,), anchor=(1, 2, 999)),
+            CandidateGossip(adds=(3,)),
+        )
+        decoders = [GossipDecoder() for _ in range(2)]
+        for decoder in decoders:
+            for gossip in stream:
+                decoder.observe(5, gossip)
+        assert decoders[0].full_set(5) == decoders[1].full_set(5) == {1, 2, 3, 999}
 
 
 class TestSystem:

@@ -1,11 +1,21 @@
-"""Unit tests for the message model (Inbox, Envelope, outgoing actions)."""
+"""Unit tests for the message model (Inbox, Envelope, wire format)."""
 
 from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.sim import Broadcast, Envelope, Inbox, Unicast
+from repro.sim.messages import (
+    cached_payload_hash,
+    clear_intern_table,
+    intern_payload,
+    intern_table_size,
+    payload_nbytes,
+)
 
 
 class TestInbox:
@@ -39,6 +49,29 @@ class TestInbox:
         inbox = Inbox({1: iter([[9], "a", [9]])})
         assert inbox.payloads_from(1) == ([9], "a")
         assert len(inbox) == 2
+
+    def test_unhashable_fallback_preserves_first_occurrence_order(self):
+        # The TypeError fallback must behave exactly like the hash-based
+        # dedup: first occurrence wins, later duplicates are discarded.
+        inbox = Inbox({1: [[2], [1], [2], [3], [1]]})
+        assert inbox.payloads_from(1) == ([2], [1], [3])
+        assert len(inbox) == 3
+
+    def test_unhashable_fallback_is_per_sender(self):
+        # One sender with unhashable payloads must not disturb hash-based
+        # dedup for other senders in the same inbox.
+        inbox = Inbox({1: [[9], [9]], 2: ["x", "x", "y"]})
+        assert inbox.payloads_from(1) == ([9],)
+        assert inbox.payloads_from(2) == ("x", "y")
+        assert inbox.senders == {1, 2}
+
+    def test_single_unhashable_payload_takes_the_single_payload_fast_path(self):
+        # A single payload cannot be a duplicate, so it must never be hashed
+        # at all — this is the path batched wrappers rely on.
+        inbox = Inbox({1: [[7]]})
+        assert inbox.payloads_from(1) == ([7],)
+        assert len(inbox) == 1
+        assert inbox.received_from(1, [7])
 
     def test_count_counts_distinct_senders_not_messages(self):
         inbox = Inbox.from_pairs([(1, "x"), (2, "x"), (2, "x"), (3, "y")])
@@ -87,6 +120,69 @@ class TestInbox:
         inbox = Inbox.from_pairs(pairs)
         for sender, payload in pairs:
             assert inbox.received_from(sender, payload)
+
+
+@cached_payload_hash
+@dataclass(frozen=True)
+class _WirePayload:
+    values: tuple[int, ...]
+
+
+class TestWireFormat:
+    def test_cached_hash_matches_structural_hash_and_is_cached(self):
+        payload = _WirePayload((1, 2, 3))
+        first = hash(payload)
+        assert first == hash(_WirePayload((1, 2, 3)))
+        assert payload.__dict__["_wire_hash"] == first
+        assert hash(payload) == first
+
+    def test_cached_hash_is_stripped_on_pickling(self):
+        # String hashing is salted per process, so a cached hash must never
+        # travel to the sweep workers inside a pickle.
+        payload = _WirePayload((1, 2))
+        hash(payload)
+        payload_nbytes(payload)
+        clone = pickle.loads(pickle.dumps(payload))
+        assert "_wire_hash" not in clone.__dict__
+        assert "_wire_nbytes" not in clone.__dict__
+        assert clone == payload
+
+    def test_interning_returns_one_canonical_instance(self):
+        clear_intern_table()
+        first = intern_payload(_WirePayload((5, 6)))
+        second = intern_payload(_WirePayload((5, 6)))
+        other = intern_payload(_WirePayload((5, 7)))
+        assert first is second
+        assert other is not first
+        assert intern_table_size() == 2
+
+    def test_interning_passes_unhashable_values_through(self):
+        unhashable = [1, 2]
+        assert intern_payload(unhashable) is unhashable
+
+    def test_payload_nbytes_is_positive_and_cached(self):
+        payload = _WirePayload(tuple(range(100)))
+        small = _WirePayload((1,))
+        assert payload_nbytes(payload) > payload_nbytes(small) > 0
+        assert payload.__dict__["_wire_nbytes"] == payload_nbytes(payload)
+        # builtins without a __dict__ are measured but not cached
+        assert payload_nbytes("hello") > 0
+
+    def test_restricted_reuses_inbox_when_nothing_to_strip(self):
+        inbox = Inbox.from_pairs([(1, "a"), (2, "b")])
+        assert inbox.restricted(frozenset({1, 2, 3})) is inbox
+
+    def test_restricted_is_memoized_per_allowed_set(self):
+        inbox = Inbox.from_pairs([(1, "a"), (2, "b"), (3, "c")])
+        allowed = frozenset({1, 2})
+        first = inbox.restricted(allowed)
+        second = inbox.restricted(frozenset({1, 2}))
+        assert first is second  # equal keys share one restriction
+        assert first.senders == {1, 2}
+        assert first.payloads_from(3) == ()
+        other = inbox.restricted(frozenset({3}))
+        assert other.senders == {3}
+        assert other is not first
 
 
 class TestEnvelope:

@@ -106,6 +106,41 @@ class TestBasicDelivery:
         assert net.metrics.total_messages == 9
         assert net.metrics.total_broadcasts == 3
 
+    def test_payload_accounting_is_off_by_default(self):
+        net = SynchronousNetwork([EchoOnce(i) for i in range(3)])
+        net.step_round()
+        assert net.metrics.total_payload_bytes == 0
+        assert net.metrics.peak_payload_bytes == 0
+
+    @pytest.mark.parametrize("engine", ["fast", "queue", "legacy"])
+    def test_payload_accounting_counts_bytes_per_copy(self, engine):
+        from repro.sim.messages import payload_nbytes
+
+        net = SynchronousNetwork([EchoOnce(i) for i in range(3)], engine=engine)
+        net.enable_payload_accounting()
+        net.step_round()
+        expected = sum(payload_nbytes(("hello", i)) * 3 for i in range(3))
+        assert net.metrics.total_payload_bytes == expected
+        assert net.metrics.peak_payload_bytes == max(
+            payload_nbytes(("hello", i)) for i in range(3)
+        )
+
+    def test_payload_accounting_is_engine_independent(self):
+        totals = {}
+        for engine in ("fast", "queue", "legacy"):
+            net = SynchronousNetwork(
+                [UnicastReplier(i) for i in (1, 2)], engine=engine
+            )
+            net.enable_payload_accounting()
+            for _ in range(3):
+                net.step_round()
+            totals[engine] = (
+                net.metrics.total_payload_bytes,
+                net.metrics.peak_payload_bytes,
+            )
+        assert totals["fast"] == totals["queue"] == totals["legacy"]
+        assert totals["fast"][0] > 0
+
 
 class TestRunLoop:
     def test_run_stops_when_all_correct_decided(self):
