@@ -105,6 +105,29 @@ WORKLOADS: dict[str, dict] = {
 HEADLINE_PROTOCOLS = ("reliable-broadcast", "consensus")
 HEADLINE_N = 500
 
+#: Traced fast cells are capped by default: a traced run keeps every
+#: delivered message in the trace store, so memory grows with n² × rounds.
+DEFAULT_TRACE_MAX_N = 250
+
+#: Traced fast-path round throughput of the *object-per-event* Trace
+#: backend (one frozen ``TraceEvent`` dataclass per sent/delivered
+#: message), measured on this machine immediately before the columnar
+#: rewrite with the same specs/seed/round caps as the traced cells below
+#: (seed 7, ``--trace``).  The columnar backend's ``trace_speedups``
+#: section is computed against these pins; regenerate them only by
+#: checking out the pre-columnar revision.
+OBJECT_BACKEND_TRACED_BASELINE: dict[tuple[str, int], float] = {
+    # (protocol, n): traced fast-path rounds/s, object backend, 2026-07-28.
+    # Untraced twins on the same run: rotor 812.2 / 161.2, consensus
+    # 559.2 / 103.7, total-order 31.8 rounds/s — i.e. tracing cost a
+    # ~12-14x slowdown on the broadcast-heavy workloads.
+    ("rotor-coordinator", 100): 61.7,
+    ("rotor-coordinator", 250): 11.8,
+    ("consensus", 100): 48.9,
+    ("consensus", 250): 7.2,
+    ("total-order", 100): 12.6,
+}
+
 
 def measured_rounds(protocol: str, n: int) -> int:
     workload = WORKLOADS[protocol]
@@ -118,7 +141,7 @@ def engine_cap(protocol: str, engine: str) -> int | None:
     return WORKLOADS[protocol].get("caps", {}).get(engine)
 
 
-def make_spec(protocol: str, n: int, seed: int) -> ScenarioSpec:
+def make_spec(protocol: str, n: int, seed: int, *, trace: bool = False) -> ScenarioSpec:
     workload = WORKLOADS[protocol]
     rounds = measured_rounds(protocol, n)
     churn = dict(workload["churn"], rounds=rounds) if "churn" in workload else None
@@ -132,6 +155,7 @@ def make_spec(protocol: str, n: int, seed: int) -> ScenarioSpec:
         churn=churn,
         params=workload.get("params", {}),
         stop="never",
+        trace=trace,
     )
 
 
@@ -144,7 +168,7 @@ def bench_cell(spec: ScenarioSpec, engine: str) -> dict:
         max_rounds=spec.max_rounds, stop_when=resolve_stop(spec)
     )
     elapsed = time.perf_counter() - start
-    return {
+    cell = {
         "protocol": spec.protocol,
         "n": spec.n,
         "engine": engine,
@@ -156,6 +180,10 @@ def bench_cell(spec: ScenarioSpec, engine: str) -> dict:
         if elapsed
         else None,
     }
+    if spec.trace:
+        cell["trace"] = True
+        cell["trace_events"] = len(result.trace)
+    return cell
 
 
 def measure_wire_volume(spec: ScenarioSpec) -> dict:
@@ -180,7 +208,15 @@ def measure_wire_volume(spec: ScenarioSpec) -> dict:
 
 
 def run_sweep(
-    sizes, engines, protocols, *, legacy_max_n: int, seed: int, wire_volume: bool = True
+    sizes,
+    engines,
+    protocols,
+    *,
+    legacy_max_n: int,
+    seed: int,
+    wire_volume: bool = True,
+    trace: bool = False,
+    trace_max_n: int = DEFAULT_TRACE_MAX_N,
 ) -> dict:
     cells: list[dict] = []
     for protocol in protocols:
@@ -220,15 +256,35 @@ def run_sweep(
                     file=sys.stderr,
                     flush=True,
                 )
+            if trace and "fast" in engines and n <= trace_max_n:
+                # The traced twin of the fast cell: same spec/seed/round cap
+                # with `trace=True`, so traced/untraced ratios are pure trace
+                # backend overhead.
+                traced_cell = bench_cell(
+                    make_spec(protocol, n, seed, trace=True), "fast"
+                )
+                cells.append(traced_cell)
+                print(
+                    f"{protocol:32s} n={n:5d} fast+trace "
+                    f"{traced_cell['rounds']:3d} rounds in "
+                    f"{traced_cell['seconds']:8.3f}s "
+                    f"({traced_cell['rounds_per_sec']:>10.1f} rounds/s, "
+                    f"{traced_cell['trace_events']} events)",
+                    file=sys.stderr,
+                    flush=True,
+                )
 
     by_key = {
-        (c["protocol"], c["n"], c["engine"]): c for c in cells if "skipped" not in c
+        (c["protocol"], c["n"], c["engine"], bool(c.get("trace"))): c
+        for c in cells
+        if "skipped" not in c
     }
     speedups = []
+    trace_speedups = []
     for protocol in protocols:
         for n in sizes:
-            fast = by_key.get((protocol, n, "fast"))
-            legacy = by_key.get((protocol, n, "legacy"))
+            fast = by_key.get((protocol, n, "fast", False))
+            legacy = by_key.get((protocol, n, "legacy", False))
             if fast and legacy and legacy["seconds"] and fast["rounds_per_sec"]:
                 speedups.append(
                     {
@@ -239,6 +295,25 @@ def run_sweep(
                         ),
                     }
                 )
+            traced = by_key.get((protocol, n, "fast", True))
+            if traced and traced["rounds_per_sec"]:
+                entry = {
+                    "protocol": protocol,
+                    "n": n,
+                    "trace_events": traced["trace_events"],
+                    "traced_rounds_per_sec": traced["rounds_per_sec"],
+                }
+                if fast and fast["rounds_per_sec"]:
+                    entry["traced_over_untraced"] = round(
+                        traced["rounds_per_sec"] / fast["rounds_per_sec"], 3
+                    )
+                baseline = OBJECT_BACKEND_TRACED_BASELINE.get((protocol, n))
+                if baseline:
+                    entry["object_backend_rounds_per_sec"] = baseline
+                    entry["columnar_over_object_backend"] = round(
+                        traced["rounds_per_sec"] / baseline, 2
+                    )
+                trace_speedups.append(entry)
 
     headline = [
         s["fast_over_legacy"]
@@ -260,6 +335,7 @@ def run_sweep(
         "engines": list(engines),
         "cells": cells,
         "speedups": speedups,
+        "trace_speedups": trace_speedups,
         "headline": {
             "metric": f"min fast/legacy round-throughput at n={HEADLINE_N} "
             f"over {', '.join(HEADLINE_PROTOCOLS)}",
@@ -300,6 +376,17 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the instrumented wire-volume pass (message_bytes columns)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="also run a traced twin of every fast cell (trace=True, same spec)",
+    )
+    parser.add_argument(
+        "--trace-max-n",
+        type=int,
+        default=DEFAULT_TRACE_MAX_N,
+        help=f"skip traced cells above this n (default: {DEFAULT_TRACE_MAX_N})",
+    )
     args = parser.parse_args(argv)
 
     sizes = (
@@ -326,6 +413,8 @@ def main(argv=None) -> int:
         legacy_max_n=args.legacy_max_n,
         seed=args.seed,
         wire_volume=not args.no_bytes,
+        trace=args.trace,
+        trace_max_n=args.trace_max_n,
     )
     payload = json.dumps(report, indent=2)
     if args.out == "-":

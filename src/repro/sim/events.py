@@ -1,16 +1,60 @@
-"""Structured trace events.
+"""Structured trace events on a columnar store.
 
 Traces are optional (they cost memory proportional to message count) and
 are mainly used by the debugging helpers in the examples and by a handful
 of integration tests that assert on *when* something happened rather than
 just on final outputs.
+
+The columnar contract
+---------------------
+A traced run used to allocate one frozen :class:`TraceEvent` dataclass per
+recorded event — hundreds of thousands of objects for a single n=250
+sweep, which made ``trace=True`` runs an order of magnitude slower than
+the untraced fast path.  :class:`Trace` now stores events as parallel
+columns instead:
+
+* ``kind`` — one byte per event (:class:`EventKind` member codes, in enum
+  member order, in a ``array('B')``);
+* ``round`` — the round index per event (``array('q')``);
+* ``node`` / ``peer`` — node-id columns (plain lists; ``None`` marks an
+  absent id, e.g. the peer of a ``ROUND_START``);
+* ``payload`` / ``detail`` — object-reference columns.  Payload entries
+  reference the same (typically interned, see
+  :func:`repro.sim.messages.intern_payload`) payload objects the network
+  moved, so a broadcast fan-out costs one shared reference per recipient
+  rather than a per-event copy of anything.
+
+:class:`TraceEvent` survives as a *lazily materialised view*: iteration
+and every query helper (:meth:`Trace.of_kind`, :meth:`Trace.for_node`,
+:meth:`Trace.in_round`, :meth:`Trace.where`, :meth:`Trace.first`, …)
+build event objects on demand from the columns, so the query API is
+unchanged while recording never allocates per-event objects.
+
+Recording happens through a narrow interface the engine kernels share:
+:meth:`Trace.record_event` appends one event without constructing a
+``TraceEvent``, and the bulk variants
+:meth:`Trace.record_sends_columnar` /
+:meth:`Trace.record_deliveries_columnar` append a whole fan-out (one
+sender, one payload, many destinations) as column extensions — the fast
+path records a broadcast round in a handful of ``extend`` calls instead
+of one object allocation per (message, destination) pair.
+:meth:`Trace.record` still accepts a pre-built :class:`TraceEvent` for
+callers outside the hot path.
+
+Event order, field values and query results are bit-identical to the
+object-per-event backend; ``tests/test_trace_golden.py`` pins that
+against fixtures recorded from the pre-columnar implementation, and the
+Hypothesis round-trip property in ``tests/test_properties.py`` checks the
+query helpers against a list-of-dataclass reference model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Iterator
+from itertools import repeat
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from .messages import NodeId, Payload
 
@@ -29,9 +73,17 @@ class EventKind(Enum):
     NODE_LEFT = "node_left"
 
 
+#: Column codes: enum member order is the stable kind <-> byte mapping.
+_KIND_BY_CODE: tuple[EventKind, ...] = tuple(EventKind)
+_KIND_CODE: dict[EventKind, int] = {kind: code for code, kind in enumerate(EventKind)}
+_KIND_BYTE: dict[EventKind, bytes] = {
+    kind: bytes((code,)) for kind, code in _KIND_CODE.items()
+}
+
+
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded event."""
+    """One recorded event, materialised on demand from the columns."""
 
     kind: EventKind
     round_index: int
@@ -41,42 +93,218 @@ class TraceEvent:
     detail: Any = None
 
 
-@dataclass
 class Trace:
-    """An append-only list of :class:`TraceEvent` with query helpers."""
+    """An append-only columnar event store with :class:`TraceEvent` views.
 
-    events: list[TraceEvent] = field(default_factory=list)
-    enabled: bool = True
+    The constructor accepts an optional iterable of pre-built events (for
+    tests and reference models); the engines always start from an empty
+    store and append through the ``record_*`` interface.
+    """
+
+    __slots__ = (
+        "enabled",
+        "_kinds",
+        "_rounds",
+        "_node_ids",
+        "_peer_ids",
+        "_payloads",
+        "_details",
+    )
+
+    def __init__(
+        self, events: Iterable[TraceEvent] | None = None, enabled: bool = True
+    ) -> None:
+        self.enabled = enabled
+        self._kinds = array("B")
+        self._rounds = array("q")
+        self._node_ids: list[NodeId | None] = []
+        self._peer_ids: list[NodeId | None] = []
+        self._payloads: list[Payload | None] = []
+        self._details: list[Any] = []
+        if events:
+            # Constructor seeding stores the events regardless of `enabled`
+            # (matching the pre-columnar dataclass, whose `events` field was
+            # independent of the flag); `enabled` only gates *recording*.
+            for event in events:
+                self._append(
+                    event.kind,
+                    event.round_index,
+                    event.node_id,
+                    event.peer_id,
+                    event.payload,
+                    event.detail,
+                )
+
+    # -- recording -------------------------------------------------------------
+
+    def _append(
+        self,
+        kind: EventKind,
+        round_index: int,
+        node_id: NodeId | None,
+        peer_id: NodeId | None,
+        payload: Payload | None,
+        detail: Any,
+    ) -> None:
+        self._kinds.append(_KIND_CODE[kind])
+        self._rounds.append(round_index)
+        self._node_ids.append(node_id)
+        self._peer_ids.append(peer_id)
+        self._payloads.append(payload)
+        self._details.append(detail)
 
     def record(self, event: TraceEvent) -> None:
+        """Append a pre-built event (the non-hot-path entry point)."""
+
         if self.enabled:
-            self.events.append(event)
+            self._append(
+                event.kind,
+                event.round_index,
+                event.node_id,
+                event.peer_id,
+                event.payload,
+                event.detail,
+            )
+
+    def record_event(
+        self,
+        kind: EventKind,
+        round_index: int,
+        node_id: NodeId | None = None,
+        peer_id: NodeId | None = None,
+        payload: Payload | None = None,
+        detail: Any = None,
+    ) -> None:
+        """Append one event straight onto the columns (no object built)."""
+
+        if self.enabled:
+            self._append(kind, round_index, node_id, peer_id, payload, detail)
+
+    def _extend_fanout(
+        self,
+        kind: EventKind,
+        round_index: int,
+        node_column: Iterable[NodeId],
+        peer_column: Iterable[NodeId],
+        payload: Payload,
+        k: int,
+    ) -> None:
+        """One column extension per column; keeps every column in lockstep."""
+
+        self._kinds.frombytes(_KIND_BYTE[kind] * k)
+        self._rounds.extend(repeat(round_index, k))
+        self._node_ids.extend(node_column)
+        self._peer_ids.extend(peer_column)
+        self._payloads.extend(repeat(payload, k))
+        self._details.extend(repeat(None, k))
+
+    def record_sends_columnar(
+        self,
+        round_index: int,
+        sender: NodeId,
+        payload: Payload,
+        dests: Sequence[NodeId],
+    ) -> None:
+        """Bulk-append one ``MESSAGE_SENT`` event per destination.
+
+        Equivalent to recording ``TraceEvent(MESSAGE_SENT, round_index,
+        node_id=sender, peer_id=dest, payload=payload)`` for each ``dest``
+        in order, but as one column extension per column.
+        """
+
+        if self.enabled and dests:
+            self._extend_fanout(
+                EventKind.MESSAGE_SENT,
+                round_index,
+                repeat(sender, len(dests)),
+                dests,
+                payload,
+                len(dests),
+            )
+
+    def record_deliveries_columnar(
+        self,
+        round_index: int,
+        sender: NodeId,
+        payload: Payload,
+        dests: Sequence[NodeId],
+    ) -> None:
+        """Bulk-append one ``MESSAGE_DELIVERED`` event per destination.
+
+        Equivalent to recording ``TraceEvent(MESSAGE_DELIVERED,
+        round_index, node_id=dest, peer_id=sender, payload=payload)`` for
+        each ``dest`` in order, but as one column extension per column.
+        """
+
+        if self.enabled and dests:
+            self._extend_fanout(
+                EventKind.MESSAGE_DELIVERED,
+                round_index,
+                dests,
+                repeat(sender, len(dests)),
+                payload,
+                len(dests),
+            )
+
+    # -- materialisation -------------------------------------------------------
+
+    def _view(self, index: int) -> TraceEvent:
+        return TraceEvent(
+            _KIND_BY_CODE[self._kinds[index]],
+            self._rounds[index],
+            self._node_ids[index],
+            self._peer_ids[index],
+            self._payloads[index],
+            self._details[index],
+        )
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Every event, materialised (kept for backward compatibility)."""
+
+        return [self._view(i) for i in range(len(self._kinds))]
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._kinds)
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self.events)
+        return map(self._view, range(len(self._kinds)))
 
     # -- queries ---------------------------------------------------------------
 
     def of_kind(self, kind: EventKind) -> list[TraceEvent]:
-        return [e for e in self.events if e.kind == kind]
+        code = _KIND_CODE[kind]
+        return [self._view(i) for i, c in enumerate(self._kinds) if c == code]
 
     def for_node(self, node_id: NodeId) -> list[TraceEvent]:
-        return [e for e in self.events if e.node_id == node_id]
+        return [
+            self._view(i) for i, n in enumerate(self._node_ids) if n == node_id
+        ]
 
     def in_round(self, round_index: int) -> list[TraceEvent]:
-        return [e for e in self.events if e.round_index == round_index]
+        return [
+            self._view(i) for i, r in enumerate(self._rounds) if r == round_index
+        ]
 
     def where(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
-        return [e for e in self.events if predicate(e)]
+        return [e for e in self if predicate(e)]
 
     def decisions(self) -> list[TraceEvent]:
         return self.of_kind(EventKind.NODE_DECIDED)
 
     def first(self, kind: EventKind) -> TraceEvent | None:
-        for event in self.events:
-            if event.kind == kind:
-                return event
-        return None
+        try:
+            return self._view(self._kinds.index(_KIND_CODE[kind]))
+        except ValueError:
+            return None
+
+    def kind_counts(self) -> dict[str, int]:
+        """Event counts per kind value (cheap: scans the byte column only)."""
+
+        kinds = self._kinds
+        counts: dict[str, int] = {}
+        for code, kind in enumerate(_KIND_BY_CODE):
+            count = kinds.count(code)
+            if count:
+                counts[kind.value] = count
+        return counts

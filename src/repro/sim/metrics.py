@@ -4,12 +4,23 @@ The harness uses these counters to report the quantities the paper's
 discussion section talks about (message complexity, round complexity) and
 to compare the id-only algorithms against the known-(n, f) baselines in
 experiment E9.
+
+Like the trace backend (:mod:`repro.sim.events`), per-round counters live
+in parallel ``array('q')`` columns rather than one dataclass per round:
+:class:`RoundMetrics` is a mutable *view* onto one row of the columnar
+store, materialised lazily by :attr:`RunMetrics.rounds` and handed out by
+:meth:`RunMetrics.start_round` as the engines' per-round write cursor.
+Reads and writes through a view hit the columns directly, so
+``metrics.rounds[-1].messages_delivered`` keeps working unchanged while
+summaries (:attr:`RunMetrics.total_messages`, …) become single column
+sums.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 from .messages import NodeId
@@ -17,21 +28,92 @@ from .messages import NodeId
 __all__ = ["RoundMetrics", "RunMetrics", "DecisionRecord"]
 
 
-@dataclass
-class RoundMetrics:
-    """Counters for a single simulated round."""
+#: Column order of the per-round counter store; also the (keyword)
+#: argument order of the :class:`RoundMetrics` compatibility constructor.
+_ROUND_FIELDS = (
+    "round_index",
+    "messages_sent",
+    "broadcasts",
+    "unicasts",
+    "messages_delivered",
+    "active_nodes",
+    "byzantine_nodes",
+    "halted_nodes",
+    "payload_bytes",
+)
 
-    round_index: int
-    messages_sent: int = 0
-    broadcasts: int = 0
-    unicasts: int = 0
-    messages_delivered: int = 0
-    active_nodes: int = 0
-    byzantine_nodes: int = 0
-    halted_nodes: int = 0
-    #: Serialised payload bytes sent this round (all copies); stays 0 unless
-    #: the network's payload accounting is enabled.
-    payload_bytes: int = 0
+
+class _RoundStore:
+    """Parallel per-round counter columns (one ``array('q')`` per field)."""
+
+    __slots__ = _ROUND_FIELDS
+
+    def __init__(self) -> None:
+        for name in _ROUND_FIELDS:
+            setattr(self, name, array("q"))
+
+    def append_round(self, round_index: int) -> None:
+        self.round_index.append(round_index)
+        for name in _ROUND_FIELDS[1:]:
+            getattr(self, name).append(0)
+
+    def __len__(self) -> int:
+        return len(self.round_index)
+
+
+class RoundMetrics:
+    """Counters for a single simulated round (a view into the columns).
+
+    Constructing one directly creates a standalone single-row store, so the
+    pre-columnar ``RoundMetrics(round_index=..., messages_sent=...)`` shape
+    keeps working for tests and external callers; the views handed out by
+    :class:`RunMetrics` all share the run's store.
+    """
+
+    __slots__ = ("_store", "_index")
+
+    def __init__(
+        self,
+        round_index: int = 0,
+        messages_sent: int = 0,
+        broadcasts: int = 0,
+        unicasts: int = 0,
+        messages_delivered: int = 0,
+        active_nodes: int = 0,
+        byzantine_nodes: int = 0,
+        halted_nodes: int = 0,
+        payload_bytes: int = 0,
+    ) -> None:
+        store = _RoundStore()
+        store.append_round(round_index)
+        self._store = store
+        self._index = 0
+        self.messages_sent = messages_sent
+        self.broadcasts = broadcasts
+        self.unicasts = unicasts
+        self.messages_delivered = messages_delivered
+        self.active_nodes = active_nodes
+        self.byzantine_nodes = byzantine_nodes
+        self.halted_nodes = halted_nodes
+        self.payload_bytes = payload_bytes
+
+    @classmethod
+    def _attached(cls, store: _RoundStore, index: int) -> "RoundMetrics":
+        view = cls.__new__(cls)
+        view._store = store
+        view._index = index
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{name}={getattr(self, name)}" for name in _ROUND_FIELDS)
+        return f"RoundMetrics({fields})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoundMetrics):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in _ROUND_FIELDS
+        )
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -47,6 +129,21 @@ class RoundMetrics:
         }
 
 
+def _column_property(name: str) -> property:
+    def getter(self: RoundMetrics) -> int:
+        return getattr(self._store, name)[self._index]
+
+    def setter(self: RoundMetrics, value: int) -> None:
+        getattr(self._store, name)[self._index] = value
+
+    return property(getter, setter)
+
+
+for _name in _ROUND_FIELDS:
+    setattr(RoundMetrics, _name, _column_property(_name))
+del _name
+
+
 @dataclass(frozen=True)
 class DecisionRecord:
     """When and what a node decided."""
@@ -56,40 +153,56 @@ class DecisionRecord:
     value: Any
 
 
-@dataclass
 class RunMetrics:
     """Aggregated counters for a whole simulation run."""
 
-    rounds: list[RoundMetrics] = field(default_factory=list)
-    per_node_sent: Counter = field(default_factory=Counter)
-    per_node_delivered: Counter = field(default_factory=Counter)
-    decisions: list[DecisionRecord] = field(default_factory=list)
-    #: Largest single payload seen (serialised bytes); 0 unless payload
-    #: accounting is enabled on the network.
-    peak_payload_bytes: int = 0
+    __slots__ = (
+        "_round_store",
+        "per_node_sent",
+        "per_node_delivered",
+        "decisions",
+        "peak_payload_bytes",
+    )
+
+    def __init__(self) -> None:
+        self._round_store = _RoundStore()
+        self.per_node_sent: Counter = Counter()
+        self.per_node_delivered: Counter = Counter()
+        self.decisions: list[DecisionRecord] = []
+        #: Largest single payload seen (serialised bytes); 0 unless payload
+        #: accounting is enabled on the network.
+        self.peak_payload_bytes = 0
+
+    @property
+    def rounds(self) -> list[RoundMetrics]:
+        """Per-round counter views, materialised lazily from the columns."""
+
+        store = self._round_store
+        return [RoundMetrics._attached(store, i) for i in range(len(store))]
 
     # -- recording -----------------------------------------------------------
 
     def start_round(self, round_index: int) -> RoundMetrics:
-        metrics = RoundMetrics(round_index=round_index)
-        self.rounds.append(metrics)
-        return metrics
+        store = self._round_store
+        store.append_round(round_index)
+        return RoundMetrics._attached(store, len(store) - 1)
 
     def record_send(self, node_id: NodeId, fanout: int, broadcast: bool) -> None:
-        if not self.rounds:
+        store = self._round_store
+        if not len(store):
             return
-        current = self.rounds[-1]
-        current.messages_sent += fanout
+        store.messages_sent[-1] += fanout
         if broadcast:
-            current.broadcasts += 1
+            store.broadcasts[-1] += 1
         else:
-            current.unicasts += 1
+            store.unicasts[-1] += 1
         self.per_node_sent[node_id] += fanout
 
     def record_delivery(self, node_id: NodeId, count: int) -> None:
-        if not self.rounds:
+        store = self._round_store
+        if not len(store):
             return
-        self.rounds[-1].messages_delivered += count
+        store.messages_delivered[-1] += count
         self.per_node_delivered[node_id] += count
 
     def record_deliveries(self, counts: Iterable[tuple[NodeId, int]]) -> None:
@@ -101,14 +214,15 @@ class RunMetrics:
         engines use this once per round instead of once per process.
         """
 
-        if not self.rounds:
+        store = self._round_store
+        if not len(store):
             return
         per_node = self.per_node_delivered
         total = 0
         for node_id, count in counts:
             total += count
             per_node[node_id] += count
-        self.rounds[-1].messages_delivered += total
+        store.messages_delivered[-1] += total
 
     def record_payload(self, nbytes: int, copies: int) -> None:
         """Account one send action's payload: ``nbytes`` × ``copies`` wire bytes.
@@ -118,9 +232,10 @@ class RunMetrics:
         engine-independent just like message counts.
         """
 
-        if not self.rounds:
+        store = self._round_store
+        if not len(store):
             return
-        self.rounds[-1].payload_bytes += nbytes * copies
+        store.payload_bytes[-1] += nbytes * copies
         if nbytes > self.peak_payload_bytes:
             self.peak_payload_bytes = nbytes
 
@@ -131,22 +246,22 @@ class RunMetrics:
 
     @property
     def total_rounds(self) -> int:
-        return len(self.rounds)
+        return len(self._round_store)
 
     @property
     def total_messages(self) -> int:
-        return sum(r.messages_sent for r in self.rounds)
+        return sum(self._round_store.messages_sent)
 
     @property
     def total_broadcasts(self) -> int:
-        return sum(r.broadcasts for r in self.rounds)
+        return sum(self._round_store.broadcasts)
 
     @property
     def total_payload_bytes(self) -> int:
-        return sum(r.payload_bytes for r in self.rounds)
+        return sum(self._round_store.payload_bytes)
 
     def messages_per_round(self) -> list[int]:
-        return [r.messages_sent for r in self.rounds]
+        return list(self._round_store.messages_sent)
 
     def decision_round(self, node_id: NodeId) -> int | None:
         """The round in which ``node_id`` first decided, or ``None``."""

@@ -81,7 +81,7 @@ from .errors import (
     MembershipError,
     RoundLimitExceeded,
 )
-from .events import EventKind, Trace, TraceEvent
+from .events import EventKind, Trace
 from .messages import (
     Broadcast,
     Envelope,
@@ -376,8 +376,8 @@ class SynchronousNetwork:
             self._register(process)
             self._active.add(process.node_id)
             changed = True
-            self._trace.record(
-                TraceEvent(EventKind.NODE_JOINED, round_index, node_id=process.node_id)
+            self._trace.record_event(
+                EventKind.NODE_JOINED, round_index, node_id=process.node_id
             )
         for node_id in self._leaves.pop(round_index, []):
             if node_id not in self._processes:
@@ -386,8 +386,8 @@ class SynchronousNetwork:
                 )
             self._active.discard(node_id)
             changed = True
-            self._trace.record(
-                TraceEvent(EventKind.NODE_LEFT, round_index, node_id=node_id)
+            self._trace.record_event(
+                EventKind.NODE_LEFT, round_index, node_id=node_id
             )
         if changed:
             self._invalidate_membership()
@@ -468,7 +468,7 @@ class SynchronousNetwork:
         round_index = self._round
         self._apply_membership_changes(round_index)
         round_metrics = self._metrics.start_round(round_index)
-        self._trace.record(TraceEvent(EventKind.ROUND_START, round_index))
+        self._trace.record_event(EventKind.ROUND_START, round_index)
 
         # 1. Deliver messages scheduled for this round.
         if engine == "fast":
@@ -500,19 +500,21 @@ class SynchronousNetwork:
         active = self._active
         trace = self._trace
         if trace.enabled:
-            record = trace.record
+            # One bulk column append per staged batch: the whole fan-out of
+            # a broadcast becomes a handful of `extend`s instead of one
+            # TraceEvent per (message, destination) pair.  When membership
+            # did not change since staging, the recorded destination tuple
+            # *is* the current sorted-active cache, so the per-destination
+            # liveness filter is skipped entirely.
+            active_now = self._active_sorted()
+            bulk = trace.record_deliveries_columnar
             for sender, payload, dests in staged:
-                for dest in dests:
-                    if dest in active:
-                        record(
-                            TraceEvent(
-                                EventKind.MESSAGE_DELIVERED,
-                                round_index,
-                                node_id=dest,
-                                peer_id=sender,
-                                payload=payload,
-                            )
-                        )
+                delivered = (
+                    dests
+                    if dests is active_now
+                    else [d for d in dests if d in active]
+                )
+                bulk(round_index, sender, payload, delivered)
         if shared is not None:
             # Broadcast-only round: every recipient sees the same messages,
             # so one Inbox serves all of them.  Batches are grouped by
@@ -577,16 +579,9 @@ class SynchronousNetwork:
                     )
                 staged.append((node_id, action.payload, dests))
                 if trace.enabled:
-                    for dest in dests:
-                        trace.record(
-                            TraceEvent(
-                                EventKind.MESSAGE_SENT,
-                                round_index,
-                                node_id=node_id,
-                                peer_id=dest,
-                                payload=action.payload,
-                            )
-                        )
+                    trace.record_sends_columnar(
+                        round_index, node_id, action.payload, dests
+                    )
         self._staged = staged
         self._staged_shared = broadcast_dests if (staged and broadcast_only) else None
 
@@ -615,14 +610,12 @@ class SynchronousNetwork:
                     pairs_by_dest[dest] = bucket = []
                 bucket.append((envelope.sender, envelope.payload))
                 if trace.enabled:
-                    trace.record(
-                        TraceEvent(
-                            EventKind.MESSAGE_DELIVERED,
-                            round_index,
-                            node_id=dest,
-                            peer_id=envelope.sender,
-                            payload=envelope.payload,
-                        )
+                    trace.record_event(
+                        EventKind.MESSAGE_DELIVERED,
+                        round_index,
+                        node_id=dest,
+                        peer_id=envelope.sender,
+                        payload=envelope.payload,
                     )
         processes = self._processes
         return {
@@ -673,8 +666,8 @@ class SynchronousNetwork:
                 outgoing_by_node[node_id] = outgoing
             self._record_decision(process, round_index)
             if process.halted:
-                self._trace.record(
-                    TraceEvent(EventKind.NODE_HALTED, round_index, node_id=node_id)
+                self._trace.record_event(
+                    EventKind.NODE_HALTED, round_index, node_id=node_id
                 )
         round_metrics.halted_nodes = halted_nodes
         self._metrics.record_deliveries(delivered)
@@ -686,13 +679,11 @@ class SynchronousNetwork:
         if process.decided:
             self._decided_seen.add(process.node_id)
             self._metrics.record_decision(process.node_id, round_index, process.output)
-            self._trace.record(
-                TraceEvent(
-                    EventKind.NODE_DECIDED,
-                    round_index,
-                    node_id=process.node_id,
-                    detail=process.output,
-                )
+            self._trace.record_event(
+                EventKind.NODE_DECIDED,
+                round_index,
+                node_id=process.node_id,
+                detail=process.output,
             )
 
     def _schedule(self, sender: NodeId, action: Outgoing, round_index: int) -> None:
@@ -728,14 +719,12 @@ class SynchronousNetwork:
         if bucket is None:
             self._bucketed[deliver] = bucket = []
         bucket.append(envelope)
-        self._trace.record(
-            TraceEvent(
-                EventKind.MESSAGE_SENT,
-                round_index,
-                node_id=sender,
-                peer_id=dest,
-                payload=payload,
-            )
+        self._trace.record_event(
+            EventKind.MESSAGE_SENT,
+            round_index,
+            node_id=sender,
+            peer_id=dest,
+            payload=payload,
         )
 
     # -- the legacy reference engine ---------------------------------------------------
@@ -748,14 +737,18 @@ class SynchronousNetwork:
         measures speedups from.  It deliberately keeps the original cost
         profile: a flat pending list scanned in full every round, fresh
         ``sorted(self._active)`` calls, per-delivery metric updates and an
-        unconditionally constructed :class:`SystemView`.
+        unconditionally constructed :class:`SystemView`.  The one deviation
+        is trace recording, which goes through the scalar
+        :meth:`~repro.sim.events.Trace.record_event` interface (one call
+        per event, like the original) — the columnar store has no
+        per-event object to build.
         """
 
         self._round += 1
         round_index = self._round
         self._apply_membership_changes(round_index)
         round_metrics = self._metrics.start_round(round_index)
-        self._trace.record(TraceEvent(EventKind.ROUND_START, round_index))
+        self._trace.record_event(EventKind.ROUND_START, round_index)
 
         # 1. Deliver messages scheduled for this round.
         builder = InboxBuilder()
@@ -767,14 +760,12 @@ class SynchronousNetwork:
             if envelope.dest not in self._active:
                 continue  # the destination left before delivery
             builder.add(envelope.dest, envelope.sender, envelope.payload)
-            self._trace.record(
-                TraceEvent(
-                    EventKind.MESSAGE_DELIVERED,
-                    round_index,
-                    node_id=envelope.dest,
-                    peer_id=envelope.sender,
-                    payload=envelope.payload,
-                )
+            self._trace.record_event(
+                EventKind.MESSAGE_DELIVERED,
+                round_index,
+                node_id=envelope.dest,
+                peer_id=envelope.sender,
+                payload=envelope.payload,
             )
         self._legacy_pending = still_pending
 
@@ -811,8 +802,8 @@ class SynchronousNetwork:
                 outgoing_by_node[node_id] = outgoing
             self._record_decision(process, round_index)
             if process.halted:
-                self._trace.record(
-                    TraceEvent(EventKind.NODE_HALTED, round_index, node_id=node_id)
+                self._trace.record_event(
+                    EventKind.NODE_HALTED, round_index, node_id=node_id
                 )
 
         # 3. Schedule the outgoing messages.
@@ -853,14 +844,12 @@ class SynchronousNetwork:
                 deliver_round=deliver,
             )
         )
-        self._trace.record(
-            TraceEvent(
-                EventKind.MESSAGE_SENT,
-                round_index,
-                node_id=sender,
-                peer_id=dest,
-                payload=payload,
-            )
+        self._trace.record_event(
+            EventKind.MESSAGE_SENT,
+            round_index,
+            node_id=sender,
+            peer_id=dest,
+            payload=payload,
         )
 
     # -- running to completion -------------------------------------------------------

@@ -111,6 +111,38 @@ def test_total_order_churn_n50_is_trace_identical_across_kernels():
     assert prints["queue"] == prints["legacy"]
 
 
+@pytest.mark.parametrize("protocol", ("consensus", "total-order"))
+def test_trace_with_payload_accounting_is_kernel_identical(protocol):
+    """``trace=True`` + ``enable_payload_accounting()`` on all three kernels.
+
+    The columnar trace store and the byte accounting hook into the same
+    send/delivery paths of each kernel; running them *together* pins that
+    neither feature perturbs the other's recording order or totals — the
+    full fingerprint (trace events, payload_bytes per round, peak payload)
+    must stay bit-identical across kernels.
+    """
+
+    from repro.api.registry import REGISTRY
+    from repro.api.sweep import ScenarioOutcome, resolve_stop
+
+    spec = ScenarioSpec(protocol=protocol, seed=2, trace=True, **SCENARIOS[protocol])
+    info = REGISTRY.info(spec.protocol)
+    prints = {}
+    for engine in ("fast", "queue", "legacy"):
+        system = REGISTRY.build(spec, engine=engine)
+        system.network.enable_payload_accounting()
+        result = system.network.run(
+            max_rounds=info.default_max_rounds(spec),
+            stop_when=resolve_stop(spec, info),
+        )
+        outcome = ScenarioOutcome(spec=spec, system=system, result=result)
+        assert len(result.trace) > 0
+        assert result.metrics.total_payload_bytes > 0
+        prints[engine] = fingerprint(outcome)
+    assert prints["fast"] == prints["legacy"]
+    assert prints["queue"] == prints["legacy"]
+
+
 @pytest.mark.parametrize(
     "delay,delay_params",
     [

@@ -29,6 +29,7 @@ from repro.analysis.properties import (
 from repro.api import ScenarioSpec
 from repro.api.sweep import run_scenario
 from repro.dynamic import build_total_order_system, generate_churn_schedule
+from repro.sim.events import EventKind, Trace, TraceEvent
 
 COMMON = settings(
     max_examples=15,
@@ -263,3 +264,128 @@ def test_fast_and_queue_engines_agree_on_random_scenarios(nf, seed, protocol, ad
         == outcomes["queue"].result.metrics.as_dict()
     )
     assert outcomes["fast"].outputs() == outcomes["queue"].outputs()
+
+
+# ---------------------------------------------------------------------------
+# Columnar trace backend: round-trip against the object reference model
+# ---------------------------------------------------------------------------
+
+
+trace_node_ids = st.one_of(st.none(), st.integers(min_value=0, max_value=9))
+trace_payloads = st.one_of(
+    st.none(),
+    st.integers(min_value=-5, max_value=5),
+    st.text(max_size=3),
+    st.tuples(st.integers(0, 3), st.text(max_size=2)),
+)
+trace_details = st.one_of(st.none(), st.integers(-3, 3), st.text(max_size=3))
+
+trace_events = st.builds(
+    TraceEvent,
+    kind=st.sampled_from(list(EventKind)),
+    round_index=st.integers(min_value=0, max_value=30),
+    node_id=trace_node_ids,
+    peer_id=trace_node_ids,
+    payload=trace_payloads,
+    detail=trace_details,
+)
+
+#: One recording action: a pre-built event through ``record``, a scalar
+#: append through ``record_event``, or a bulk fan-out through one of the
+#: columnar variants.
+trace_ops = st.one_of(
+    st.tuples(st.just("record"), trace_events),
+    st.tuples(st.just("record_event"), trace_events),
+    st.tuples(
+        st.sampled_from(["sends", "deliveries"]),
+        st.integers(min_value=0, max_value=30),  # round index
+        st.integers(min_value=0, max_value=9),  # sender
+        trace_payloads,
+        st.lists(st.integers(min_value=0, max_value=9), max_size=6).map(tuple),
+    ),
+)
+
+
+def apply_trace_ops(trace: Trace, ops) -> list[TraceEvent]:
+    """Drive ``trace`` through a recording script; return the reference model.
+
+    The reference is what the pre-columnar backend stored: one
+    :class:`TraceEvent` dataclass per recorded event, in order.
+    """
+
+    reference: list[TraceEvent] = []
+    for op in ops:
+        if op[0] == "record":
+            trace.record(op[1])
+            reference.append(op[1])
+        elif op[0] == "record_event":
+            event = op[1]
+            trace.record_event(
+                event.kind,
+                event.round_index,
+                node_id=event.node_id,
+                peer_id=event.peer_id,
+                payload=event.payload,
+                detail=event.detail,
+            )
+            reference.append(event)
+        else:
+            _, round_index, sender, payload, dests = op
+            if op[0] == "sends":
+                trace.record_sends_columnar(round_index, sender, payload, dests)
+                kind, node_of, peer_of = (
+                    EventKind.MESSAGE_SENT,
+                    lambda d: sender,
+                    lambda d: d,
+                )
+            else:
+                trace.record_deliveries_columnar(round_index, sender, payload, dests)
+                kind, node_of, peer_of = (
+                    EventKind.MESSAGE_DELIVERED,
+                    lambda d: d,
+                    lambda d: sender,
+                )
+            reference.extend(
+                TraceEvent(kind, round_index, node_of(d), peer_of(d), payload)
+                for d in dests
+            )
+    return reference
+
+
+@COMMON
+@given(ops=st.lists(trace_ops, max_size=12))
+def test_columnar_trace_round_trips_against_object_model(ops):
+    """Every query helper agrees with a list-of-dataclass reference model."""
+
+    trace = Trace()
+    reference = apply_trace_ops(trace, ops)
+
+    assert len(trace) == len(reference)
+    assert list(trace) == reference
+    assert trace.events == reference
+    for kind in EventKind:
+        assert trace.of_kind(kind) == [e for e in reference if e.kind == kind]
+        want_first = next((e for e in reference if e.kind == kind), None)
+        assert trace.first(kind) == want_first
+    for node_id in {e.node_id for e in reference}:
+        assert trace.for_node(node_id) == [
+            e for e in reference if e.node_id == node_id
+        ]
+    for round_index in {e.round_index for e in reference}:
+        assert trace.in_round(round_index) == [
+            e for e in reference if e.round_index == round_index
+        ]
+    predicate = lambda e: e.round_index % 2 == 0 and e.payload is not None  # noqa: E731
+    assert trace.where(predicate) == [e for e in reference if predicate(e)]
+    assert trace.decisions() == [
+        e for e in reference if e.kind == EventKind.NODE_DECIDED
+    ]
+
+
+@COMMON
+@given(ops=st.lists(trace_ops, max_size=8))
+def test_disabled_trace_ignores_every_recording_path(ops):
+    trace = Trace(enabled=False)
+    apply_trace_ops(trace, ops)
+    assert len(trace) == 0
+    assert list(trace) == []

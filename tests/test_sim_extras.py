@@ -111,6 +111,69 @@ class TestTrace:
         trace.record(TraceEvent(EventKind.ROUND_START, 1))
         assert len(trace) == 0
 
+    def test_disabled_trace_ignores_scalar_and_bulk_recording(self):
+        trace = Trace(enabled=False)
+        trace.record_event(EventKind.ROUND_START, 1)
+        trace.record_sends_columnar(1, 3, "m", (1, 2, 3))
+        trace.record_deliveries_columnar(2, 3, "m", (1, 2, 3))
+        assert len(trace) == 0
+        assert list(trace) == []
+        assert trace.events == []
+
+    def test_first_miss_returns_none(self):
+        trace = Trace()
+        trace.record_event(EventKind.ROUND_START, 1)
+        assert trace.first(EventKind.NODE_DECIDED) is None
+
+    def test_queries_on_empty_trace(self):
+        trace = Trace()
+        assert len(trace) == 0
+        assert list(trace) == []
+        assert trace.events == []
+        assert trace.of_kind(EventKind.MESSAGE_SENT) == []
+        assert trace.for_node(1) == []
+        assert trace.in_round(1) == []
+        assert trace.where(lambda e: True) == []
+        assert trace.decisions() == []
+        assert trace.first(EventKind.ROUND_START) is None
+        assert trace.kind_counts() == {}
+
+    def test_constructor_accepts_prebuilt_events(self):
+        events = [
+            TraceEvent(EventKind.ROUND_START, 1),
+            TraceEvent(EventKind.MESSAGE_SENT, 1, node_id=1, peer_id=2, payload="m"),
+        ]
+        trace = Trace(events)
+        assert list(trace) == events
+
+    def test_constructor_seeding_ignores_the_enabled_flag(self):
+        # Matching the pre-columnar dataclass: `enabled` gates recording,
+        # not the events handed to the constructor.
+        events = [TraceEvent(EventKind.ROUND_START, 1)]
+        trace = Trace(events, enabled=False)
+        assert list(trace) == events
+        trace.record(TraceEvent(EventKind.ROUND_START, 2))
+        assert len(trace) == 1
+
+    def test_bulk_recording_matches_scalar_recording(self):
+        bulk, scalar = Trace(), Trace()
+        bulk.record_sends_columnar(1, 9, "m", (1, 2))
+        bulk.record_deliveries_columnar(2, 9, "m", (1, 2))
+        bulk.record_sends_columnar(2, 9, "m", ())  # empty fan-out is a no-op
+        for dest in (1, 2):
+            scalar.record_event(
+                EventKind.MESSAGE_SENT, 1, node_id=9, peer_id=dest, payload="m"
+            )
+        for dest in (1, 2):
+            scalar.record_event(
+                EventKind.MESSAGE_DELIVERED, 2, node_id=dest, peer_id=9, payload="m"
+            )
+        assert list(bulk) == list(scalar)
+        assert bulk.kind_counts() == {
+            "message_sent": 2,
+            "message_delivered": 2,
+        }
+
 
 class TestKnownSenders:
     def test_observe_and_freeze(self):
