@@ -23,6 +23,17 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_scaling.py                 # full sweep
     PYTHONPATH=src python benchmarks/bench_scaling.py --quick         # n=50 smoke
     PYTHONPATH=src python benchmarks/bench_scaling.py --sizes 50,100 --engines fast,queue
+    PYTHONPATH=src python benchmarks/bench_scaling.py --store bench.db  # resumable
+
+With ``--store PATH`` every measured cell is persisted to a
+:class:`repro.store.RunStore` under its (spec, engine, code-version) run
+key; re-running the benchmark against the same store skips cells that
+were already measured under the current code version (marked
+``"cached": true`` in the JSON) and the report gains a ``store`` section
+with the ran/skipped counts.  Editing the simulator changes the code
+fingerprint, so stale timings are never reused silently.  Timings are
+machine- and load-dependent, of course — the cache exists to make a
+long sweep interruptible, not to claim timings are reproducible.
 """
 
 from __future__ import annotations
@@ -39,6 +50,17 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.api import ScenarioSpec  # noqa: E402
 from repro.api.registry import REGISTRY  # noqa: E402
 from repro.api.sweep import resolve_stop  # noqa: E402
+from repro.store import (  # noqa: E402
+    RunRecord,
+    RunStore,
+    code_fingerprint,
+    json_normalize,
+    run_key,
+)
+
+#: Bench rows live under their own row-function label so they never collide
+#: with sweep rows for the same (spec, engine, code-version) key.
+BENCH_ROW_FN = "bench_cell"
 
 DEFAULT_SIZES = (50, 100, 250, 500, 1000)
 DEFAULT_ENGINES = ("fast", "queue", "legacy")
@@ -207,6 +229,39 @@ def measure_wire_volume(spec: ScenarioSpec) -> dict:
     }
 
 
+def _load_cached_cell(store, spec: ScenarioSpec, engine: str, version: str) -> dict | None:
+    """A previously measured cell for this (spec, engine, code-version), if any."""
+
+    if store is None:
+        return None
+    row = store.get_row(
+        run_key(spec, engine=engine, code_version=version), BENCH_ROW_FN
+    )
+    return dict(row, cached=True) if row is not None else None
+
+
+def _persist_cell(store, spec: ScenarioSpec, engine: str, version: str, cell: dict, counts: dict) -> dict:
+    """Store one measured cell (after the wire-volume merge) as a bench row."""
+
+    if store is None:
+        return cell
+    cell = json_normalize(cell)
+    record = RunRecord(
+        run_key=run_key(spec, engine=engine, code_version=version),
+        spec_dict=spec.to_dict(),
+        spec_digest=spec.digest(),
+        engine=engine,
+        code_version=version,
+        summary={k: cell[k] for k in ("rounds", "messages", "seconds") if k in cell},
+        rounds_executed=int(cell.get("rounds", 0)),
+        stop_reason="max_rounds",
+        elapsed_seconds=cell.get("seconds"),
+    )
+    store.put_run(record, row=cell, row_fn=BENCH_ROW_FN)
+    counts["ran"] += 1
+    return cell
+
+
 def run_sweep(
     sizes,
     engines,
@@ -217,7 +272,23 @@ def run_sweep(
     wire_volume: bool = True,
     trace: bool = False,
     trace_max_n: int = DEFAULT_TRACE_MAX_N,
+    store: "RunStore | None" = None,
 ) -> dict:
+    version = code_fingerprint() if store is not None else ""
+    counts = {"ran": 0, "skipped": 0}
+
+    def from_cache(spec: ScenarioSpec, engine: str, label: str) -> dict | None:
+        cached = _load_cached_cell(store, spec, engine, version)
+        if cached is not None:
+            counts["skipped"] += 1
+            print(
+                f"{spec.protocol:32s} n={spec.n:5d} {label:6s} cached "
+                f"({cached['rounds']} rounds, {cached['seconds']}s stored)",
+                file=sys.stderr,
+                flush=True,
+            )
+        return cached
+
     cells: list[dict] = []
     for protocol in protocols:
         for n in sizes:
@@ -232,7 +303,9 @@ def run_sweep(
                 if cap is not None and n > cap:
                     # the reference engines take minutes-to-hours per cell at
                     # these sizes (see the WORKLOADS note); record the skip
-                    # instead of silently shrinking coverage
+                    # instead of silently shrinking coverage.  Cap skips are
+                    # a sweep-configuration choice, not a measurement — they
+                    # are never written to the store.
                     cells.append(
                         {
                             "protocol": protocol,
@@ -242,11 +315,16 @@ def run_sweep(
                         }
                     )
                     continue
+                cached = from_cache(spec, engine, engine)
+                if cached is not None:
+                    cells.append(cached)
+                    continue
                 cell = bench_cell(spec, engine)
                 if wire_volume:
                     if volume is None:
                         volume = measure_wire_volume(spec)
                     cell.update(volume)
+                cell = _persist_cell(store, spec, engine, version, cell, counts)
                 cells.append(cell)
                 # progress goes to stderr so `--out -` emits clean JSON
                 print(
@@ -260,19 +338,23 @@ def run_sweep(
                 # The traced twin of the fast cell: same spec/seed/round cap
                 # with `trace=True`, so traced/untraced ratios are pure trace
                 # backend overhead.
-                traced_cell = bench_cell(
-                    make_spec(protocol, n, seed, trace=True), "fast"
-                )
+                traced_spec = make_spec(protocol, n, seed, trace=True)
+                traced_cell = from_cache(traced_spec, "fast", "fast+t")
+                if traced_cell is None:
+                    traced_cell = bench_cell(traced_spec, "fast")
+                    traced_cell = _persist_cell(
+                        store, traced_spec, "fast", version, traced_cell, counts
+                    )
+                    print(
+                        f"{protocol:32s} n={n:5d} fast+trace "
+                        f"{traced_cell['rounds']:3d} rounds in "
+                        f"{traced_cell['seconds']:8.3f}s "
+                        f"({traced_cell['rounds_per_sec']:>10.1f} rounds/s, "
+                        f"{traced_cell['trace_events']} events)",
+                        file=sys.stderr,
+                        flush=True,
+                    )
                 cells.append(traced_cell)
-                print(
-                    f"{protocol:32s} n={n:5d} fast+trace "
-                    f"{traced_cell['rounds']:3d} rounds in "
-                    f"{traced_cell['seconds']:8.3f}s "
-                    f"({traced_cell['rounds_per_sec']:>10.1f} rounds/s, "
-                    f"{traced_cell['trace_events']} events)",
-                    file=sys.stderr,
-                    flush=True,
-                )
 
     by_key = {
         (c["protocol"], c["n"], c["engine"], bool(c.get("trace"))): c
@@ -320,7 +402,7 @@ def run_sweep(
         for s in speedups
         if s["n"] == HEADLINE_N and s["protocol"] in HEADLINE_PROTOCOLS
     ]
-    return {
+    report = {
         "benchmark": "bench_scaling",
         "description": (
             "Round throughput of the synchronous fast path vs the bucketed "
@@ -343,6 +425,14 @@ def run_sweep(
             "target": 5.0,
         },
     }
+    if store is not None:
+        report["store"] = {
+            "path": store.path,
+            "code_version": version,
+            "ran": counts["ran"],
+            "skipped": counts["skipped"],
+        }
+    return report
 
 
 def main(argv=None) -> int:
@@ -387,6 +477,13 @@ def main(argv=None) -> int:
         default=DEFAULT_TRACE_MAX_N,
         help=f"skip traced cells above this n (default: {DEFAULT_TRACE_MAX_N})",
     )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="cache measured cells in a run store; cells already measured "
+        "under the current code version are reused instead of re-run",
+    )
     args = parser.parse_args(argv)
 
     sizes = (
@@ -406,16 +503,22 @@ def main(argv=None) -> int:
         if protocol not in WORKLOADS:
             parser.error(f"unknown protocol {protocol!r}; known: {', '.join(WORKLOADS)}")
 
-    report = run_sweep(
-        sizes,
-        engines,
-        protocols,
-        legacy_max_n=args.legacy_max_n,
-        seed=args.seed,
-        wire_volume=not args.no_bytes,
-        trace=args.trace,
-        trace_max_n=args.trace_max_n,
-    )
+    store = RunStore(args.store) if args.store else None
+    try:
+        report = run_sweep(
+            sizes,
+            engines,
+            protocols,
+            legacy_max_n=args.legacy_max_n,
+            seed=args.seed,
+            wire_volume=not args.no_bytes,
+            trace=args.trace,
+            trace_max_n=args.trace_max_n,
+            store=store,
+        )
+    finally:
+        if store is not None:
+            store.close()
     payload = json.dumps(report, indent=2)
     if args.out == "-":
         print(payload)
@@ -425,6 +528,11 @@ def main(argv=None) -> int:
     value = report["headline"]["value"]
     if value is not None:
         print(f"headline: {value:.2f}x fast over legacy (target >= 5x)")
+    if "store" in report:
+        print(
+            f"store: {report['store']['ran']} cells measured, "
+            f"{report['store']['skipped']} served from {report['store']['path']}"
+        )
     return 0
 
 

@@ -15,6 +15,8 @@ makes cross-process sweeps and on-disk experiment manifests possible.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Mapping
 
@@ -196,6 +198,30 @@ class ScenarioSpec:
                 f"known: {', '.join(sorted(known))}"
             )
         return cls(**dict(data))
+
+    def canonical_json(self) -> str:
+        """The canonical serialisation: sorted keys, compact separators.
+
+        This is the byte-stable form both the JSON report writers and the
+        run store (:mod:`repro.store`) hash and persist, so a spec has
+        exactly one on-disk representation regardless of construction
+        order or process.
+        """
+
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+        )
+
+    def digest(self) -> str:
+        """Stable content digest of the spec (hex SHA-256 of the canonical JSON).
+
+        Independent of dict insertion order, process, platform and
+        ``PYTHONHASHSEED``; equal specs always share a digest.  The run
+        store combines this with the engine and a code-version fingerprint
+        into the content-addressed run key.
+        """
+
+        return hashlib.sha256(self.canonical_json().encode("ascii")).hexdigest()
 
     # -- convenience --------------------------------------------------------
 

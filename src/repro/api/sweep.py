@@ -38,6 +38,7 @@ __all__ = [
     "SweepSpec",
     "SweepRunner",
     "run_sweep",
+    "map_jobs",
 ]
 
 #: Axis names that map onto top-level ScenarioSpec fields.  Any other axis
@@ -285,6 +286,48 @@ def _run_case(payload: tuple[dict, RowFn, str | None]) -> dict:
     return row_fn(outcome)
 
 
+def map_jobs(fn: Callable, payloads: Sequence, jobs: int) -> Iterator:
+    """Map ``fn`` over ``payloads`` in order, optionally across a process pool.
+
+    The shared execution engine of :class:`SweepRunner` and the resumable
+    layer (:class:`repro.store.resumable.ResumableSweep`): results come
+    back lazily and strictly in payload order, so callers can fire
+    progress callbacks as cells complete while keeping deterministic
+    collection order.  ``jobs == 1`` (or a single payload) runs inline;
+    only pool *creation* falls back to sequential (sandboxes without
+    process support) — errors raised inside ``fn`` propagate unchanged
+    rather than triggering a silent rerun.  ``fn`` must be a module-level
+    function and payloads/results must pickle.
+    """
+
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    if jobs == 1 or len(payloads) <= 1:
+        return map(fn, payloads)
+    workers = min(jobs, len(payloads), os.cpu_count() or 1)
+    chunksize = max(1, len(payloads) // (workers * 4))
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except OSError as exc:  # pragma: no cover - sandboxes
+        warnings.warn(
+            f"process pool unavailable ({exc}); falling back to sequential execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return map(fn, payloads)
+
+    def results() -> Iterator:
+        with pool:
+            yield from pool.map(fn, payloads, chunksize=chunksize)
+
+    return results()
+
+
+#: Progress callback: ``(index, spec, row)`` per completed scenario, fired
+#: in expansion order as results arrive.
+CellCallback = Callable[[int, ScenarioSpec, dict], None]
+
+
 class SweepRunner:
     """Executes sweeps, optionally across a process pool.
 
@@ -310,32 +353,28 @@ class SweepRunner:
         sweeps: SweepSpec | Sequence[SweepSpec],
         *,
         row_fn: RowFn | None = None,
+        on_cell_complete: CellCallback | None = None,
     ) -> list[dict]:
-        """Expand and execute ``sweeps``, returning one row per scenario."""
+        """Expand and execute ``sweeps``, returning one row per scenario.
+
+        ``on_cell_complete(index, spec, row)`` fires per scenario, in
+        expansion order, as results arrive — the progress signal the
+        resumable store layer and the streaming scenario service build
+        on.  With no callback the behaviour (and the returned rows) are
+        exactly as before.
+        """
 
         if isinstance(sweeps, SweepSpec):
             sweeps = [sweeps]
         scenarios = [spec for sweep in sweeps for spec in sweep.scenarios()]
         extract = row_fn or _default_row
         payloads = [(spec.to_dict(), extract, self.engine) for spec in scenarios]
-        if self.jobs == 1 or len(payloads) <= 1:
-            return [_run_case(payload) for payload in payloads]
-        workers = min(self.jobs, len(payloads), os.cpu_count() or 1)
-        chunksize = max(1, len(payloads) // (workers * 4))
-        # Only pool *creation* falls back to sequential (sandboxes without
-        # process support); errors raised inside a worker's scenario or
-        # row_fn propagate unchanged rather than triggering a silent rerun.
-        try:
-            pool = ProcessPoolExecutor(max_workers=workers)
-        except OSError as exc:  # pragma: no cover - sandboxes
-            warnings.warn(
-                f"process pool unavailable ({exc}); falling back to sequential execution",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return [_run_case(payload) for payload in payloads]
-        with pool:
-            return list(pool.map(_run_case, payloads, chunksize=chunksize))
+        rows: list[dict] = []
+        for index, row in enumerate(map_jobs(_run_case, payloads, self.jobs)):
+            if on_cell_complete is not None:
+                on_cell_complete(index, scenarios[index], row)
+            rows.append(row)
+        return rows
 
     def run_aggregated(
         self,

@@ -24,7 +24,6 @@ full reproduction runs, and ``seed`` so whole sweeps can be re-drawn.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -44,6 +43,14 @@ from ..api import ScenarioOutcome, SweepRunner, SweepSpec
 from ..core.impossibility import outcome_from_outputs
 from ..core.quorums import max_faults_tolerated
 from ..sim.delays import split_into_groups
+from ..store import (
+    SCHEMA_VERSION,
+    ResumableSweep,
+    RunStore,
+    canonical_dumps,
+    sweep_digest,
+    to_jsonable,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -63,6 +70,11 @@ class ExperimentResult:
     claim: str
     rows: list[dict[str, object]] = field(default_factory=list)
     notes: str = ""
+    #: Digest over the expanded scenario specs (see
+    #: :func:`repro.store.digest.sweep_digest`): the same value the run
+    #: store derives its keys from, so a JSON report identifies exactly
+    #: which sweep produced it.
+    sweep_digest: str = ""
 
     def to_text(self) -> str:
         header = f"[{self.experiment_id}] {self.title}\nclaim: {self.claim}"
@@ -83,20 +95,28 @@ class ExperimentResult:
         return "\n".join(parts)
 
     def as_dict(self) -> dict[str, object]:
-        """A plain, JSON-serialisable representation."""
+        """A plain, JSON-serialisable representation.
+
+        Shares the run store's serialization contract: the schema version,
+        the sweep digest and row values coerced through
+        :func:`repro.store.serialize.to_jsonable` — one canonical path,
+        so reports and store rows never disagree on a value's spelling.
+        """
 
         return {
+            "schema_version": SCHEMA_VERSION,
             "experiment_id": self.experiment_id,
             "title": self.title,
             "claim": self.claim,
             "notes": self.notes,
-            "rows": [dict(row) for row in self.rows],
+            "sweep_digest": self.sweep_digest,
+            "rows": [to_jsonable(row) for row in self.rows],
         }
 
     def to_json(self, *, indent: int | None = 2) -> str:
         """Machine-readable results; stable key order so reports diff cleanly."""
 
-        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+        return canonical_dumps(self.as_dict(), indent=indent)
 
 
 @dataclass(frozen=True)
@@ -114,11 +134,22 @@ class ExperimentDefinition:
     default_seed: int = 0
     post: Callable[[list[dict]], list[dict]] | None = None
 
-    def run(self, *, scale: int = 1, seed: int | None = None, jobs: int = 1) -> ExperimentResult:
+    def run(
+        self,
+        *,
+        scale: int = 1,
+        seed: int | None = None,
+        jobs: int = 1,
+        store: RunStore | None = None,
+    ) -> ExperimentResult:
         base_seed = self.default_seed if seed is None else seed
-        rows = SweepRunner(jobs=jobs).run(
-            list(self.sweeps(scale, base_seed)), row_fn=self.row_fn
-        )
+        sweeps = list(self.sweeps(scale, base_seed))
+        if store is not None:
+            rows = ResumableSweep(store, jobs=jobs).run(
+                sweeps, row_fn=self.row_fn
+            ).rows
+        else:
+            rows = SweepRunner(jobs=jobs).run(sweeps, row_fn=self.row_fn)
         aggregated = aggregate_rows(
             rows, group_by=list(self.group_by), metrics=list(self.metrics)
         )
@@ -130,6 +161,9 @@ class ExperimentDefinition:
             claim=self.claim,
             rows=aggregated,
             notes=self.notes,
+            sweep_digest=sweep_digest(
+                spec for sweep in sweeps for spec in sweep.scenarios()
+            ),
         )
 
 
@@ -752,13 +786,21 @@ def all_experiment_ids() -> list[str]:
 
 
 def run_experiment(
-    experiment_id: str, *, scale: int = 1, seed: int | None = None, jobs: int = 1
+    experiment_id: str,
+    *,
+    scale: int = 1,
+    seed: int | None = None,
+    jobs: int = 1,
+    store: RunStore | None = None,
 ) -> ExperimentResult:
     """Run one experiment by id (e.g. ``"E3"``).
 
     ``seed`` re-draws the whole sweep (defaults to the experiment's
     canonical seed); ``jobs`` fans the scenarios out over worker processes
-    with bit-identical aggregated results.
+    with bit-identical aggregated results.  Passing a ``store`` makes the
+    sweep resumable: scenarios already persisted under the current code
+    version are served from the store instead of re-executing, and fresh
+    scenarios are persisted as they complete.
     """
 
     try:
@@ -767,4 +809,4 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}"
         ) from exc
-    return definition.run(scale=scale, seed=seed, jobs=jobs)
+    return definition.run(scale=scale, seed=seed, jobs=jobs, store=store)

@@ -14,17 +14,21 @@ Command line usage (from the repository root, after ``pip install -e .``)::
 worker processes; the aggregated results are bit-identical to a
 sequential run because every scenario carries its own derived seed.
 ``--json PATH`` (``-`` for stdout) emits the rows machine-readably so
-benchmark trajectories can be diffed across PRs.
+benchmark trajectories can be diffed across PRs.  ``--store PATH``
+persists every scenario into a :class:`repro.store.RunStore` and resumes
+from it: re-running the same experiments against the same store skips
+everything already computed (under the current code version) and still
+produces bit-identical reports.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from typing import Sequence, TextIO
 
+from ..store import RunStore, canonical_dumps
 from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
 
 __all__ = [
@@ -41,13 +45,15 @@ def run_many(
     scale: int = 1,
     seed: int | None = None,
     jobs: int = 1,
+    store: RunStore | None = None,
     stream: TextIO | None = None,
 ) -> list[ExperimentResult]:
     """Run the requested experiments, printing each table as it finishes.
 
     ``seed`` is forwarded to every experiment (``None`` keeps each
     experiment's canonical default seed) and ``jobs`` sets the
-    worker-process count for the underlying sweeps.
+    worker-process count for the underlying sweeps.  ``store`` makes every
+    sweep resumable (see :func:`run_experiment`).
     """
 
     stream = stream or sys.stdout
@@ -55,7 +61,9 @@ def run_many(
     results: list[ExperimentResult] = []
     for experiment_id in ids:
         start = time.perf_counter()
-        result = run_experiment(experiment_id, scale=scale, seed=seed, jobs=jobs)
+        result = run_experiment(
+            experiment_id, scale=scale, seed=seed, jobs=jobs, store=store
+        )
         elapsed = time.perf_counter() - start
         results.append(result)
         print(result.to_text(), file=stream)
@@ -81,11 +89,12 @@ def write_json_report(
 
     Keys are sorted and rows keep their aggregation order, so two reports
     produced from the same seeds diff cleanly — including across
-    ``--jobs`` settings.
+    ``--jobs`` settings and between store-resumed and fresh runs (the
+    serialization path is the run store's canonical one).
     """
 
-    payload = json.dumps(
-        [result.as_dict() for result in results], indent=indent, sort_keys=True
+    payload = canonical_dumps(
+        [result.as_dict() for result in results], indent=indent
     )
     if path == "-":
         print(payload)
@@ -119,12 +128,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="PATH",
         help="also write machine-readable results to PATH ('-' for stdout)",
     )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        help="persist runs to (and resume from) a SQLite run store at PATH",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
-    results = run_many(
-        args.experiments or None, scale=args.scale, seed=args.seed, jobs=args.jobs
-    )
+    store = RunStore(args.store) if args.store else None
+    try:
+        results = run_many(
+            args.experiments or None,
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            store=store,
+        )
+    finally:
+        if store is not None:
+            store.close()
     if args.markdown:
         write_markdown_report(results, args.markdown)
         print(f"markdown report written to {args.markdown}")

@@ -50,6 +50,7 @@ query helpers against a list-of-dataclass reference model.
 
 from __future__ import annotations
 
+import pickle
 from array import array
 from dataclasses import dataclass
 from enum import Enum
@@ -245,6 +246,67 @@ class Trace:
                 payload,
                 len(dests),
             )
+
+    # -- persistence hooks -----------------------------------------------------
+
+    def export_segments(
+        self, *, max_events: int = 8192
+    ) -> list[tuple[dict, dict[str, bytes]]]:
+        """Slice the columns into ``(footer, blobs)`` segments for persistence.
+
+        Each segment covers up to ``max_events`` consecutive events.  The
+        footer is a small JSON-safe index — event count, per-kind counts
+        (by :class:`EventKind` value) and the round range — that lets a
+        reader decide *without touching the blobs* whether a segment can
+        contain anything a query wants; the run store keeps footers in a
+        queryable column and loads blobs lazily.  ``kinds``/``rounds``
+        blobs are raw array bytes (native byte order); the object columns
+        (node/peer ids, payloads, details) are pickled lists, so payload
+        sharing within a segment survives via the pickle memo.  An empty
+        trace exports zero segments.
+        """
+
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
+        segments = []
+        for start in range(0, len(self._kinds), max_events):
+            stop = min(start + max_events, len(self._kinds))
+            kinds = self._kinds[start:stop]
+            rounds = self._rounds[start:stop]
+            kind_counts = {}
+            for code, kind in enumerate(_KIND_BY_CODE):
+                count = kinds.count(code)
+                if count:
+                    kind_counts[kind.value] = count
+            footer = {
+                "events": stop - start,
+                "kind_counts": kind_counts,
+                "round_min": min(rounds),
+                "round_max": max(rounds),
+            }
+            blobs = {
+                "kinds": kinds.tobytes(),
+                "rounds": rounds.tobytes(),
+                "nodes": pickle.dumps(self._node_ids[start:stop], protocol=4),
+                "peers": pickle.dumps(self._peer_ids[start:stop], protocol=4),
+                "payloads": pickle.dumps(self._payloads[start:stop], protocol=4),
+                "details": pickle.dumps(self._details[start:stop], protocol=4),
+            }
+            segments.append((footer, blobs))
+        return segments
+
+    @classmethod
+    def from_segment(cls, blobs: dict[str, bytes]) -> "Trace":
+        """Rebuild one exported segment as a standalone query-able trace."""
+
+        trace = cls()
+        trace._kinds.frombytes(blobs["kinds"])
+        trace._rounds.frombytes(blobs["rounds"])
+        trace._node_ids = pickle.loads(blobs["nodes"])
+        trace._peer_ids = pickle.loads(blobs["peers"])
+        trace._payloads = pickle.loads(blobs["payloads"])
+        trace._details = pickle.loads(blobs["details"])
+        return trace
 
     # -- materialisation -------------------------------------------------------
 

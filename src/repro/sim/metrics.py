@@ -242,6 +242,62 @@ class RunMetrics:
     def record_decision(self, node_id: NodeId, round_index: int, value: Any) -> None:
         self.decisions.append(DecisionRecord(node_id, round_index, value))
 
+    # -- persistence hooks -----------------------------------------------------
+
+    def export_columns(self) -> dict[str, bytes]:
+        """Dump the per-round counter columns as raw ``array('q')`` bytes.
+
+        One blob per :data:`_ROUND_FIELDS` entry, in native byte order —
+        the run store records the writing machine's byte order and
+        refuses to open a store written with the other one, so the blobs
+        round-trip exactly through :meth:`from_columns`.
+        """
+
+        store = self._round_store
+        return {name: getattr(store, name).tobytes() for name in _ROUND_FIELDS}
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: dict[str, bytes],
+        *,
+        per_node_sent: dict | None = None,
+        per_node_delivered: dict | None = None,
+        decisions: Iterable[tuple] = (),
+        peak_payload_bytes: int = 0,
+    ) -> "RunMetrics":
+        """Rebuild a :class:`RunMetrics` from :meth:`export_columns` blobs.
+
+        ``decisions`` takes ``(node_id, round_index, value)`` triples;
+        the per-node mappings restore the cross-round counters.  The
+        result compares equal to the original instance.
+        """
+
+        metrics = cls()
+        store = metrics._round_store
+        for name in _ROUND_FIELDS:
+            getattr(store, name).frombytes(columns.get(name, b""))
+        metrics.per_node_sent = Counter(per_node_sent or {})
+        metrics.per_node_delivered = Counter(per_node_delivered or {})
+        metrics.decisions = [DecisionRecord(*triple) for triple in decisions]
+        metrics.peak_payload_bytes = peak_payload_bytes
+        return metrics
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunMetrics):
+            return NotImplemented
+        ours, theirs = self._round_store, other._round_store
+        return (
+            all(
+                getattr(ours, name) == getattr(theirs, name)
+                for name in _ROUND_FIELDS
+            )
+            and self.per_node_sent == other.per_node_sent
+            and self.per_node_delivered == other.per_node_delivered
+            and self.decisions == other.decisions
+            and self.peak_payload_bytes == other.peak_payload_bytes
+        )
+
     # -- summaries -------------------------------------------------------------
 
     @property

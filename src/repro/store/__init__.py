@@ -1,0 +1,106 @@
+"""Persistent run store: content-addressed results DB and resumable sweeps.
+
+This package persists simulation runs so sweeps resume instead of
+re-executing, results are queryable after the fact, and a service can
+stream progress to clients — all on stdlib ``sqlite3`` (WAL mode, no
+dependencies).
+
+The run-key contract
+--------------------
+A run is addressed by **content**, never by position in a sweep::
+
+    run_key = sha256(spec_digest ‖ "\\n" ‖ engine ‖ "\\n" ‖ code_version)
+
+* ``spec_digest`` — :meth:`repro.api.ScenarioSpec.digest`: the SHA-256 of
+  the spec's canonical JSON (sorted keys, compact separators, ASCII).
+  Two specs with equal ``to_dict()`` output always share a digest,
+  regardless of process, dict insertion order or platform.
+* ``engine`` — the engine the caller pinned, or the literal ``"auto"``
+  when engine selection was left to the simulator.  The repo's engines
+  are bit-identical by contract, but the key still separates pinned
+  engines so an engine-comparison sweep never aliases.
+* ``code_version`` — :func:`repro.store.digest.code_fingerprint`: a
+  SHA-256 over every ``*.py`` file in the installed ``repro`` package
+  (sorted relative paths + contents), overridable via the
+  ``REPRO_CODE_VERSION`` environment variable.  Editing the simulator
+  invalidates cached cells automatically.
+
+Identical (spec, engine, code) always hits the cache; changing any
+ingredient misses it.  :class:`ResumableSweep` relies on this to run only
+missing cells and still return rows bit-identical to a fresh sweep.
+
+The schema (version 1)
+----------------------
+``meta``
+    ``schema_version`` and the writing machine's ``byteorder`` (raw
+    ``array`` blobs are native-endian; a store refuses to open on a
+    machine with the other endianness).
+``runs``
+    One row per run key: denormalised query columns (``protocol``, ``n``,
+    ``f``, ``seed``, ``engine``, ``code_version``, ``status``), the spec
+    and summary as canonical JSON, scalar results (``rounds_executed``,
+    ``stop_reason``, ``peak_payload_bytes``, ``elapsed_seconds``,
+    ``created_at``) and three lazy pickle blobs: protocol outputs,
+    decision triples and per-node counters.
+``round_columns``
+    The :class:`~repro.sim.metrics.RunMetrics` per-round counters, one
+    raw ``array('q')`` blob per column name (the PR-5 columnar layout,
+    persisted as-is).
+``rows``
+    Extracted report rows keyed by ``(run_key, row_fn)`` — the row
+    function's qualified name — as canonical JSON, so different row
+    extractors never collide on one run.
+``trace_segments``
+    Optional columnar trace slices: per segment a JSON footer (event
+    count, per-kind counts, round range) plus the six column blobs.
+    :class:`StoredTrace` answers ``of_kind``/``in_round``/``decisions``
+    by consulting footers first and loading only segments that can
+    match; ``kind_counts``/``len`` never touch a blob.
+
+Entry points
+------------
+:class:`RunStore` (open/query/diff/pivot), :class:`ResumableSweep`
+(store-first sweep execution), ``python -m repro.store.serve`` (HTTP
+service with NDJSON progress streaming).
+"""
+
+from .db import (
+    DEFAULT_ROW_FN,
+    RunRecord,
+    RunStore,
+    SCHEMA_VERSION,
+    StoredRun,
+    StoredTrace,
+    StoreError,
+)
+from .digest import code_fingerprint, run_key, spec_digest, sweep_digest
+from .resumable import (
+    DEFAULT_SEGMENT_EVENTS,
+    ResumableSweep,
+    SweepReport,
+    record_from_outcome,
+    row_fn_name,
+)
+from .serialize import canonical_dumps, json_normalize, to_jsonable
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_ROW_FN",
+    "DEFAULT_SEGMENT_EVENTS",
+    "StoreError",
+    "RunStore",
+    "RunRecord",
+    "StoredRun",
+    "StoredTrace",
+    "ResumableSweep",
+    "SweepReport",
+    "record_from_outcome",
+    "row_fn_name",
+    "run_key",
+    "spec_digest",
+    "sweep_digest",
+    "code_fingerprint",
+    "canonical_dumps",
+    "json_normalize",
+    "to_jsonable",
+]

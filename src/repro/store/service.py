@@ -1,0 +1,467 @@
+"""The scenario service: launch sweeps over HTTP, stream progress as NDJSON.
+
+A thin stdlib front-end over :class:`~repro.store.db.RunStore` and
+:class:`~repro.store.resumable.ResumableSweep`.  The default server is a
+``ThreadingHTTPServer`` — no framework, no dependency — and the streaming
+endpoint emits newline-delimited JSON over an ``HTTP/1.0``-style
+connection-close response, so any client that can read lines can follow a
+sweep round by round::
+
+    POST /sweeps        {"sweep": {"protocol": "consensus", "base": {...},
+                         "axes": {"n": [4, 5, 6]}}, "jobs": 2}
+    GET  /sweeps/<id>/stream      -> one JSON object per line:
+        {"event": "sweep-start", "cells": 3, ...}
+        {"event": "cell", "index": 0, "cached": false, "row": {...}}
+        {"event": "round", "index": 0, "round": 0, "messages_sent": ...}
+        ...
+        {"event": "sweep-complete", "ran": 3, "skipped": 0}
+
+Every connected stream client sees the *full* event sequence regardless of
+when it attached: a :class:`SweepJob` records the events it has emitted and
+replays the prefix to late joiners before handing them live events.
+
+Query endpoints: ``GET /health``, ``GET /runs`` (filters as query params),
+``GET /runs/<run_key>``, ``GET /runs/<run_key>/rounds``,
+``GET /sweeps/<id>``.  SQLite connections are per-thread (the handler pool
+opens read-only-use stores on demand); the sweep executor thread is the
+only writer, preserving the store's single-writer discipline.
+
+If FastAPI happens to be installed, :func:`create_fastapi_app` exposes the
+same service as an ASGI app; the stdlib server remains the supported path
+and the adapter raises :class:`StoreError` when FastAPI is absent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Iterator
+from urllib.parse import parse_qs, urlparse
+
+from ..api.sweep import SweepSpec
+from .db import RunStore, StoreError
+from .resumable import DEFAULT_SEGMENT_EVENTS, ResumableSweep
+from .serialize import canonical_dumps
+
+__all__ = ["ScenarioService", "SweepJob", "create_server", "create_fastapi_app"]
+
+_SWEEP_FIELDS = frozenset(f.name for f in dataclasses.fields(SweepSpec))
+
+
+def _sweep_from_dict(payload: dict) -> SweepSpec:
+    """Build a SweepSpec from a JSON object of its dataclass fields."""
+
+    if not isinstance(payload, dict):
+        raise ValueError("each sweep must be a JSON object")
+    unknown = sorted(set(payload) - _SWEEP_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown sweep fields: {', '.join(unknown)}")
+    if "protocol" not in payload:
+        raise ValueError("sweep needs a 'protocol'")
+    kwargs = dict(payload)
+    if "seed_tags" in kwargs:
+        kwargs["seed_tags"] = tuple(kwargs["seed_tags"])
+    return SweepSpec(**kwargs)
+
+
+class SweepJob:
+    """One launched sweep: an append-only event log plus completion state.
+
+    ``events()`` yields every event from the beginning, blocking until new
+    ones arrive — late subscribers replay the recorded prefix first, so
+    concurrent stream clients all observe the same sequence.
+    """
+
+    def __init__(self, job_id: str, cells: int) -> None:
+        self.job_id = job_id
+        self.cells = cells
+        self.status = "running"
+        self.error: str | None = None
+        self.report_summary: dict | None = None
+        self._events: list[dict] = []
+        self._done = False
+        self._cond = threading.Condition()
+
+    # -- producer side (sweep executor thread) -----------------------------
+
+    def emit(self, event: dict) -> None:
+        with self._cond:
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def finish(self, *, status: str, error: str | None = None) -> None:
+        with self._cond:
+            self.status = status
+            self.error = error
+            self._done = True
+            self._cond.notify_all()
+
+    # -- consumer side (stream handlers) -----------------------------------
+
+    def events(self) -> Iterator[dict]:
+        index = 0
+        while True:
+            with self._cond:
+                while index >= len(self._events) and not self._done:
+                    self._cond.wait()
+                if index >= len(self._events):
+                    return
+                batch = self._events[index:]
+                index = len(self._events)
+            yield from batch
+
+    def as_dict(self) -> dict:
+        with self._cond:
+            return {
+                "id": self.job_id,
+                "cells": self.cells,
+                "status": self.status,
+                "error": self.error,
+                "events": len(self._events),
+                "report": self.report_summary,
+            }
+
+
+class ScenarioService:
+    """Store-backed sweep launcher shared by every HTTP handler thread."""
+
+    def __init__(
+        self,
+        store_path: str,
+        *,
+        jobs: int = 1,
+        engine: str | None = None,
+        segment_events: int = DEFAULT_SEGMENT_EVENTS,
+    ) -> None:
+        self.store_path = str(store_path)
+        self.jobs = jobs
+        self.engine = engine
+        self.segment_events = segment_events
+        self._jobs: dict[str, SweepJob] = {}
+        self._job_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        # Validate (and create) the store eagerly so a bad path fails at
+        # service construction, not on the first request.
+        RunStore(self.store_path).close()
+
+    # -- per-thread read stores --------------------------------------------
+
+    def reader(self) -> RunStore:
+        store = getattr(self._local, "store", None)
+        if store is None:
+            store = self._local.store = RunStore(self.store_path)
+        return store
+
+    # -- sweep jobs ---------------------------------------------------------
+
+    def get_job(self, job_id: str) -> SweepJob | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def launch_sweep(self, payload: dict) -> SweepJob:
+        """Validate the request, start the executor thread, return the job."""
+
+        raw = payload.get("sweep") or payload.get("sweeps")
+        if raw is None:
+            raise ValueError("request needs a 'sweep' (or 'sweeps') object")
+        sweep_dicts = raw if isinstance(raw, list) else [raw]
+        sweeps = [_sweep_from_dict(d) for d in sweep_dicts]
+        scenarios = [spec for sweep in sweeps for spec in sweep.scenarios()]
+        jobs = int(payload.get("jobs", self.jobs))
+        engine = payload.get("engine", self.engine)
+
+        with self._lock:
+            job = SweepJob(f"sweep-{next(self._job_ids)}", len(scenarios))
+            self._jobs[job.job_id] = job
+
+        worker = threading.Thread(
+            target=self._execute,
+            args=(job, sweeps, jobs, engine),
+            name=f"scenario-service-{job.job_id}",
+            daemon=True,
+        )
+        worker.start()
+        return job
+
+    def _execute(
+        self,
+        job: SweepJob,
+        sweeps: list[SweepSpec],
+        jobs: int,
+        engine: str | None,
+    ) -> None:
+        try:
+            with RunStore(self.store_path) as store:
+                runner = ResumableSweep(
+                    store,
+                    jobs=jobs,
+                    engine=engine,
+                    segment_events=self.segment_events,
+                )
+
+                def on_cell(index, spec, row, record, cached) -> None:
+                    job.emit(
+                        {
+                            "event": "cell",
+                            "index": index,
+                            "run_key": record.run_key,
+                            "cached": cached,
+                            "row": row,
+                        }
+                    )
+                    for metrics_row in record.per_round():
+                        job.emit(
+                            {"event": "round", "index": index, **metrics_row}
+                        )
+
+                job.emit(
+                    {
+                        "event": "sweep-start",
+                        "id": job.job_id,
+                        "cells": job.cells,
+                        "jobs": jobs,
+                        "engine": engine or "auto",
+                    }
+                )
+                report = runner.run(sweeps, on_cell=on_cell)
+                job.report_summary = {
+                    "ran": report.ran,
+                    "skipped": report.skipped,
+                    "total": report.total,
+                }
+                job.emit({"event": "sweep-complete", **job.report_summary})
+                job.finish(status="complete")
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            job.emit({"event": "error", "message": str(exc)})
+            job.finish(status="failed", error=str(exc))
+
+    # -- query endpoints ----------------------------------------------------
+
+    def health(self) -> dict:
+        store = self.reader()
+        return {
+            "status": "ok",
+            "store": self.store_path,
+            "runs": len(store.query(status=None)),
+        }
+
+    def list_runs(self, filters: dict[str, list[str]]) -> list[dict]:
+        def first(key: str) -> str | None:
+            values = filters.get(key)
+            return values[0] if values else None
+
+        def as_int(value: str | None) -> int | None:
+            return int(value) if value is not None else None
+
+        runs = self.reader().query(
+            protocol=first("protocol"),
+            n=as_int(first("n")),
+            seed=as_int(first("seed")),
+            spec_digest=first("spec_digest"),
+            engine=first("engine"),
+            status=first("status") or "complete",
+            limit=as_int(first("limit")),
+        )
+        return [run.as_dict() for run in runs]
+
+    def get_run(self, run_key: str) -> dict | None:
+        run = self.reader().get_run(run_key)
+        return run.as_dict() if run else None
+
+    def get_rounds(self, run_key: str) -> list[dict] | None:
+        run = self.reader().get_run(run_key)
+        return run.per_round() if run else None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the shared :class:`ScenarioService`."""
+
+    # HTTP/1.0 keeps the streaming endpoint framing-free: the response body
+    # ends when the connection closes, so NDJSON needs no chunked encoding.
+    protocol_version = "HTTP/1.0"
+    service: ScenarioService  # set by create_server on the subclass
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # keep test/CI output clean
+
+    # -- response helpers ---------------------------------------------------
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = (canonical_dumps(payload) + "\n").encode("ascii")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _stream_events(self, job: SweepJob) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        try:
+            for event in job.events():
+                self.wfile.write((canonical_dumps(event) + "\n").encode("ascii"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; the job keeps running
+
+    # -- routing ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["health"]:
+                self._send_json(self.service.health())
+            elif parts == ["runs"]:
+                self._send_json(self.service.list_runs(parse_qs(url.query)))
+            elif len(parts) == 2 and parts[0] == "runs":
+                run = self.service.get_run(parts[1])
+                if run is None:
+                    self._send_error(404, f"no run {parts[1]}")
+                else:
+                    self._send_json(run)
+            elif len(parts) == 3 and parts[0] == "runs" and parts[2] == "rounds":
+                rounds = self.service.get_rounds(parts[1])
+                if rounds is None:
+                    self._send_error(404, f"no run {parts[1]}")
+                else:
+                    self._send_json(rounds)
+            elif len(parts) == 2 and parts[0] == "sweeps":
+                job = self.service.get_job(parts[1])
+                if job is None:
+                    self._send_error(404, f"no sweep {parts[1]}")
+                else:
+                    self._send_json(job.as_dict())
+            elif len(parts) == 3 and parts[0] == "sweeps" and parts[2] == "stream":
+                job = self.service.get_job(parts[1])
+                if job is None:
+                    self._send_error(404, f"no sweep {parts[1]}")
+                else:
+                    self._stream_events(job)
+            else:
+                self._send_error(404, f"unknown path {url.path}")
+        except StoreError as exc:
+            self._send_error(500, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if parts != ["sweeps"]:
+            self._send_error(404, f"unknown path {url.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            job = self.service.launch_sweep(payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send_error(400, str(exc))
+            return
+        self._send_json(
+            {
+                "id": job.job_id,
+                "cells": job.cells,
+                "stream": f"/sweeps/{job.job_id}/stream",
+            },
+            status=202,
+        )
+
+
+def create_server(
+    store_path: str,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    jobs: int = 1,
+    engine: str | None = None,
+    segment_events: int = DEFAULT_SEGMENT_EVENTS,
+) -> ThreadingHTTPServer:
+    """Build a ready-to-``serve_forever`` threaded HTTP server.
+
+    ``port=0`` binds an ephemeral port (handy for tests); the bound
+    address is available as ``server.server_address``.
+    """
+
+    service = ScenarioService(
+        store_path, jobs=jobs, engine=engine, segment_events=segment_events
+    )
+    handler = type("_BoundHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+def create_fastapi_app(store_path: str, *, jobs: int = 1, engine: str | None = None):
+    """The same service as a FastAPI/ASGI app, if FastAPI is installed.
+
+    The stdlib server above is the dependency-free supported path; this
+    adapter exists for deployments that already run an ASGI stack.
+    """
+
+    try:
+        from fastapi import FastAPI, HTTPException
+        from fastapi.responses import StreamingResponse
+    except ImportError as exc:  # pragma: no cover - fastapi not in the image
+        raise StoreError(
+            "FastAPI is not installed; use repro.store.service.create_server "
+            "(stdlib) instead"
+        ) from exc
+
+    service = ScenarioService(store_path, jobs=jobs, engine=engine)
+    app = FastAPI(title="repro scenario service")
+
+    @app.get("/health")
+    def health() -> dict:
+        return service.health()
+
+    @app.get("/runs")
+    def runs(
+        protocol: str | None = None,
+        n: int | None = None,
+        seed: int | None = None,
+        limit: int | None = None,
+    ) -> list[dict]:
+        filters: dict[str, list[str]] = {}
+        for key, value in (
+            ("protocol", protocol),
+            ("n", n),
+            ("seed", seed),
+            ("limit", limit),
+        ):
+            if value is not None:
+                filters[key] = [str(value)]
+        return service.list_runs(filters)
+
+    @app.get("/runs/{run_key}")
+    def run(run_key: str) -> dict:
+        found = service.get_run(run_key)
+        if found is None:
+            raise HTTPException(status_code=404, detail=f"no run {run_key}")
+        return found
+
+    @app.post("/sweeps", status_code=202)
+    def sweeps(payload: dict) -> dict:
+        job = service.launch_sweep(payload)
+        return {
+            "id": job.job_id,
+            "cells": job.cells,
+            "stream": f"/sweeps/{job.job_id}/stream",
+        }
+
+    @app.get("/sweeps/{job_id}/stream")
+    def stream(job_id: str):
+        job = service.get_job(job_id)
+        if job is None:
+            raise HTTPException(status_code=404, detail=f"no sweep {job_id}")
+        lines = (canonical_dumps(event) + "\n" for event in job.events())
+        return StreamingResponse(lines, media_type="application/x-ndjson")
+
+    return app

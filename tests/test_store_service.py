@@ -1,0 +1,149 @@
+"""Tests for the scenario service (:mod:`repro.store.service`).
+
+Boots the stdlib threaded server on an ephemeral port, launches sweeps
+through the HTTP API and reads the NDJSON progress stream end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.store.serve import build_parser
+from repro.store.service import create_server
+
+SWEEP_REQUEST = {
+    "sweep": {"protocol": "consensus", "grid": {"n": [4, 5]}, "max_rounds": 30}
+}
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = create_server(tmp_path / "runs.db", port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    host, port = srv.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+
+
+def get_json(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=30) as response:
+        return json.load(response)
+
+
+def post_json(base: str, path: str, payload: dict):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.load(response)
+
+
+def read_stream(base: str, path: str) -> list[dict]:
+    with urllib.request.urlopen(base + path, timeout=60) as stream:
+        return [json.loads(line) for line in stream]
+
+
+def test_health(server):
+    payload = get_json(server, "/health")
+    assert payload["status"] == "ok"
+    assert payload["runs"] == 0
+
+
+def test_sweep_launch_stream_and_resume(server):
+    launch = post_json(server, "/sweeps", SWEEP_REQUEST)
+    assert launch["cells"] == 2
+
+    events = read_stream(server, launch["stream"])
+    assert events[0]["event"] == "sweep-start"
+    assert events[-1] == {
+        "event": "sweep-complete",
+        "ran": 2,
+        "skipped": 0,
+        "total": 2,
+    }
+    cells = [e for e in events if e["event"] == "cell"]
+    assert [c["index"] for c in cells] == [0, 1]
+    assert all(c["cached"] is False for c in cells)
+    assert all("rounds" in c["row"] for c in cells)
+    # Round-by-round metric progress streams for every cell.
+    rounds = [e for e in events if e["event"] == "round"]
+    assert {r["index"] for r in rounds} == {0, 1}
+    assert all("messages_sent" in r for r in rounds)
+
+    # The job is queryable after completion.
+    job = get_json(server, f"/sweeps/{launch['id']}")
+    assert job["status"] == "complete"
+    assert job["report"] == {"ran": 2, "skipped": 0, "total": 2}
+
+    # Runs landed in the store and are queryable over HTTP.
+    runs = get_json(server, "/runs?protocol=consensus")
+    assert len(runs) == 2
+    run = get_json(server, f"/runs/{runs[0]['run_key']}")
+    assert run["summary"]["decisions"] > 0
+    per_round = get_json(server, f"/runs/{runs[0]['run_key']}/rounds")
+    assert len(per_round) == run["summary"]["rounds"]
+
+    # The same sweep again: everything is served from the store, and the
+    # streamed rows are identical to the freshly executed ones.
+    fresh_rows = [c["row"] for c in cells]
+    second = post_json(server, "/sweeps", SWEEP_REQUEST)
+    events = read_stream(server, second["stream"])
+    assert events[-1]["ran"] == 0 and events[-1]["skipped"] == 2
+    cached_cells = [e for e in events if e["event"] == "cell"]
+    assert [c["row"] for c in cached_cells] == fresh_rows
+    assert all(c["cached"] is True for c in cached_cells)
+
+
+def test_stream_replays_for_late_subscribers(server):
+    launch = post_json(server, "/sweeps", SWEEP_REQUEST)
+    first = read_stream(server, launch["stream"])
+    # The sweep is long finished; a late subscriber still sees every event.
+    second = read_stream(server, launch["stream"])
+    assert second == first
+
+
+def test_bad_requests(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        get_json(server, "/runs/feedfacefeedface")
+    assert excinfo.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        get_json(server, "/sweeps/sweep-999")
+    assert excinfo.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        post_json(server, "/sweeps", {"sweep": {"grid": {"n": [4]}}})
+    assert excinfo.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        post_json(server, "/sweeps", {"sweep": {"protocol": "consensus", "bogus": 1}})
+    assert excinfo.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        get_json(server, "/nonsense")
+    assert excinfo.value.code == 404
+
+
+def test_failed_sweep_reports_error(server):
+    launch = post_json(
+        server, "/sweeps", {"sweep": {"protocol": "no-such-protocol", "n": 4}}
+    )
+    events = read_stream(server, launch["stream"])
+    assert events[-1]["event"] == "error"
+    job = get_json(server, f"/sweeps/{launch['id']}")
+    assert job["status"] == "failed"
+    assert job["error"]
+
+
+def test_serve_cli_parser_defaults():
+    args = build_parser().parse_args(["--store", "x.db", "--port", "0"])
+    assert (args.store, args.host, args.port) == ("x.db", "127.0.0.1", 0)
+    assert args.jobs == 1 and args.engine is None
