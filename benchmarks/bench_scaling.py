@@ -51,6 +51,7 @@ from repro.api import ScenarioSpec  # noqa: E402
 from repro.api.registry import REGISTRY  # noqa: E402
 from repro.api.sweep import resolve_stop  # noqa: E402
 from repro.store import (  # noqa: E402
+    DEFAULT_SEGMENT_EVENTS,
     RunRecord,
     RunStore,
     code_fingerprint,
@@ -127,8 +128,12 @@ WORKLOADS: dict[str, dict] = {
 HEADLINE_PROTOCOLS = ("reliable-broadcast", "consensus")
 HEADLINE_N = 500
 
-#: Traced fast cells are capped by default: a traced run keeps every
-#: delivered message in the trace store, so memory grows with n² × rounds.
+#: Traced fast cells are capped by default when no store is given: an
+#: in-memory traced run keeps every delivered message in the trace store,
+#: so memory grows with n² × rounds.  With ``--store`` the traced cells
+#: spill sealed segments to the run store as the run executes (peak trace
+#: memory = one segment) and the cap lifts — the full n∈{50..1000} sweep
+#: records traced twins.
 DEFAULT_TRACE_MAX_N = 250
 
 #: Traced fast-path round throughput of the *object-per-event* Trace
@@ -181,10 +186,31 @@ def make_spec(protocol: str, n: int, seed: int, *, trace: bool = False) -> Scena
     )
 
 
-def bench_cell(spec: ScenarioSpec, engine: str) -> dict:
-    """Build the system, run the capped scenario, time the run only."""
+def bench_cell(
+    spec: ScenarioSpec,
+    engine: str,
+    *,
+    spill_store: "RunStore | None" = None,
+    version: str = "",
+    segment_events: int = DEFAULT_SEGMENT_EVENTS,
+) -> dict:
+    """Build the system, run the capped scenario, time the run only.
+
+    For traced specs with ``spill_store``, the trace spills sealed
+    segments into the store *during* the run (keyed by the cell's run
+    key), so peak trace memory is bounded by one segment and the timing
+    includes the in-run persistence cost — the thing the spilled sweep
+    actually measures.
+    """
 
     system = REGISTRY.build(spec, engine=engine)
+    spilled = False
+    if spill_store is not None and spec.trace:
+        key = run_key(spec, engine=engine, code_version=version)
+        system.network.enable_trace_spill(
+            spill_store.trace_sink(key), segment_events=segment_events
+        )
+        spilled = True
     start = time.perf_counter()
     result = system.network.run(
         max_rounds=spec.max_rounds, stop_when=resolve_stop(spec)
@@ -205,6 +231,9 @@ def bench_cell(spec: ScenarioSpec, engine: str) -> dict:
     if spec.trace:
         cell["trace"] = True
         cell["trace_events"] = len(result.trace)
+        if spilled:
+            cell["trace_spilled"] = True
+            cell["trace_segments"] = result.trace.segment_count
     return cell
 
 
@@ -256,6 +285,7 @@ def _persist_cell(store, spec: ScenarioSpec, engine: str, version: str, cell: di
         rounds_executed=int(cell.get("rounds", 0)),
         stop_reason="max_rounds",
         elapsed_seconds=cell.get("seconds"),
+        trace_spilled=bool(cell.get("trace_spilled")),
     )
     store.put_run(record, row=cell, row_fn=BENCH_ROW_FN)
     counts["ran"] += 1
@@ -271,11 +301,17 @@ def run_sweep(
     seed: int,
     wire_volume: bool = True,
     trace: bool = False,
-    trace_max_n: int = DEFAULT_TRACE_MAX_N,
+    trace_max_n: "int | None" = None,
+    segment_events: int = DEFAULT_SEGMENT_EVENTS,
     store: "RunStore | None" = None,
 ) -> dict:
     version = code_fingerprint() if store is not None else ""
     counts = {"ran": 0, "skipped": 0}
+    # Without a store, traced cells hold the whole trace in memory, so the
+    # default cap applies; with a store they spill segment-by-segment and
+    # the sweep is traced end to end unless the caller caps explicitly.
+    if trace_max_n is None:
+        trace_max_n = DEFAULT_TRACE_MAX_N if store is None else max(sizes)
 
     def from_cache(spec: ScenarioSpec, engine: str, label: str) -> dict | None:
         cached = _load_cached_cell(store, spec, engine, version)
@@ -341,16 +377,27 @@ def run_sweep(
                 traced_spec = make_spec(protocol, n, seed, trace=True)
                 traced_cell = from_cache(traced_spec, "fast", "fast+t")
                 if traced_cell is None:
-                    traced_cell = bench_cell(traced_spec, "fast")
+                    traced_cell = bench_cell(
+                        traced_spec,
+                        "fast",
+                        spill_store=store,
+                        version=version,
+                        segment_events=segment_events,
+                    )
                     traced_cell = _persist_cell(
                         store, traced_spec, "fast", version, traced_cell, counts
+                    )
+                    spill_note = (
+                        f", {traced_cell['trace_segments']} segments spilled"
+                        if traced_cell.get("trace_spilled")
+                        else ""
                     )
                     print(
                         f"{protocol:32s} n={n:5d} fast+trace "
                         f"{traced_cell['rounds']:3d} rounds in "
                         f"{traced_cell['seconds']:8.3f}s "
                         f"({traced_cell['rounds_per_sec']:>10.1f} rounds/s, "
-                        f"{traced_cell['trace_events']} events)",
+                        f"{traced_cell['trace_events']} events{spill_note})",
                         file=sys.stderr,
                         flush=True,
                     )
@@ -426,11 +473,20 @@ def run_sweep(
         },
     }
     if store is not None:
+        # ran/skipped count *measurements* only; cap-skipped cells are a
+        # sweep-configuration choice and never enter the store accounting.
+        measured = sum(1 for c in cells if "skipped" not in c)
+        if counts["ran"] + counts["skipped"] != measured:
+            raise RuntimeError(
+                f"store bookkeeping drifted: ran={counts['ran']} + "
+                f"skipped={counts['skipped']} != {measured} measured cells"
+            )
         report["store"] = {
             "path": store.path,
             "code_version": version,
             "ran": counts["ran"],
             "skipped": counts["skipped"],
+            "measured": measured,
         }
     return report
 
@@ -474,8 +530,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--trace-max-n",
         type=int,
-        default=DEFAULT_TRACE_MAX_N,
-        help=f"skip traced cells above this n (default: {DEFAULT_TRACE_MAX_N})",
+        default=None,
+        help="skip traced cells above this n (default: "
+        f"{DEFAULT_TRACE_MAX_N} in-memory; uncapped with --store, where "
+        "traced cells spill segments to the store as they run)",
+    )
+    parser.add_argument(
+        "--segment-events",
+        type=int,
+        default=DEFAULT_SEGMENT_EVENTS,
+        metavar="N",
+        help="events per spilled trace segment (traced cells with --store; "
+        f"default: {DEFAULT_SEGMENT_EVENTS})",
     )
     parser.add_argument(
         "--store",
@@ -514,6 +580,7 @@ def main(argv=None) -> int:
             wire_volume=not args.no_bytes,
             trace=args.trace,
             trace_max_n=args.trace_max_n,
+            segment_events=args.segment_events,
             store=store,
         )
     finally:

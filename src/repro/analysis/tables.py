@@ -3,13 +3,25 @@
 The harness prints every experiment as a fixed-width table (and can emit
 Markdown for ``EXPERIMENTS.md``).  No third-party dependency is used so the
 harness stays runnable in the offline environment.
+
+Trace-derived columns: :func:`attach_trace_columns` joins the rows of a
+per-round pivot with a trace aggregation (in-memory ``Trace`` or
+``StoredTrace`` — both expose the same ``aggregate``), so report tables
+can cite event counts and payload-byte tallies computed straight from the
+recorded trace next to the metric columns.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["format_cell", "render_table", "render_markdown_table"]
+__all__ = [
+    "format_cell",
+    "render_table",
+    "render_markdown_table",
+    "trace_table",
+    "attach_trace_columns",
+]
 
 
 def format_cell(value: object) -> str:
@@ -55,6 +67,64 @@ def render_table(rows: Sequence[Mapping[str, object]], *, title: str | None = No
     for line in formatted:
         lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
     return "\n".join(lines)
+
+
+def trace_table(
+    trace,
+    kinds=None,
+    *,
+    by: str = "round",
+    reduce="count",
+    title: str | None = None,
+) -> str:
+    """Render a trace aggregation as a text table.
+
+    ``trace`` is anything exposing the shared ``aggregate`` signature —
+    an in-memory :class:`repro.sim.events.Trace` or a persisted
+    :class:`repro.store.StoredTrace` (the latter computes footer-pruned,
+    segment by segment).  The remaining arguments pass straight through
+    to ``aggregate``.
+    """
+
+    return render_table(
+        trace.aggregate(kinds, by=by, reduce=reduce), title=title
+    )
+
+
+def attach_trace_columns(
+    rows: Sequence[Mapping[str, object]],
+    trace,
+    kinds=None,
+    *,
+    reduce="count",
+    prefix: str = "trace_",
+) -> list[dict]:
+    """Join per-round report rows with trace-derived columns.
+
+    Aggregates ``trace`` by round (``kinds``/``reduce`` as in
+    ``aggregate``) and merges each reducer value into the row with the
+    matching ``"round"`` key as ``<prefix><reducer>``; rounds the trace
+    never saw get ``0``.  Rows without a ``"round"`` key pass through
+    unchanged.  Returns new dicts — the input rows are not mutated.
+    """
+
+    by_round = {
+        agg_row["round"]: {
+            f"{prefix}{name}": value
+            for name, value in agg_row.items()
+            if name != "round"
+        }
+        for agg_row in trace.aggregate(kinds, by="round", reduce=reduce)
+    }
+    reducers = (reduce,) if isinstance(reduce, str) else tuple(reduce)
+    zeros = {f"{prefix}{name}": 0 for name in reducers}
+    joined = []
+    for row in rows:
+        merged = dict(row)
+        if "round" in row:
+            merged.update(by_round.get(row["round"], zeros))
+        joined.append(merged)
+    return joined
 
 
 def render_markdown_table(rows: Sequence[Mapping[str, object]]) -> str:

@@ -44,6 +44,7 @@ from ..core.impossibility import outcome_from_outputs
 from ..core.quorums import max_faults_tolerated
 from ..sim.delays import split_into_groups
 from ..store import (
+    DEFAULT_SEGMENT_EVENTS,
     SCHEMA_VERSION,
     ResumableSweep,
     RunStore,
@@ -141,11 +142,14 @@ class ExperimentDefinition:
         seed: int | None = None,
         jobs: int = 1,
         store: RunStore | None = None,
+        segment_events: int = DEFAULT_SEGMENT_EVENTS,
     ) -> ExperimentResult:
         base_seed = self.default_seed if seed is None else seed
         sweeps = list(self.sweeps(scale, base_seed))
         if store is not None:
-            rows = ResumableSweep(store, jobs=jobs).run(
+            rows = ResumableSweep(
+                store, jobs=jobs, segment_events=segment_events
+            ).run(
                 sweeps, row_fn=self.row_fn
             ).rows
         else:
@@ -792,6 +796,7 @@ def run_experiment(
     seed: int | None = None,
     jobs: int = 1,
     store: RunStore | None = None,
+    segment_events: int = DEFAULT_SEGMENT_EVENTS,
 ) -> ExperimentResult:
     """Run one experiment by id (e.g. ``"E3"``).
 
@@ -800,7 +805,8 @@ def run_experiment(
     with bit-identical aggregated results.  Passing a ``store`` makes the
     sweep resumable: scenarios already persisted under the current code
     version are served from the store instead of re-executing, and fresh
-    scenarios are persisted as they complete.
+    scenarios are persisted as they complete; ``segment_events`` sets the
+    trace-segment granularity for traced scenarios persisted that way.
     """
 
     try:
@@ -809,4 +815,10 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}"
         ) from exc
-    return definition.run(scale=scale, seed=seed, jobs=jobs, store=store)
+    return definition.run(
+        scale=scale,
+        seed=seed,
+        jobs=jobs,
+        store=store,
+        segment_events=segment_events,
+    )

@@ -28,7 +28,7 @@ import sys
 import time
 from typing import Sequence, TextIO
 
-from ..store import RunStore, canonical_dumps
+from ..store import DEFAULT_SEGMENT_EVENTS, RunStore, canonical_dumps
 from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
 
 __all__ = [
@@ -46,6 +46,7 @@ def run_many(
     seed: int | None = None,
     jobs: int = 1,
     store: RunStore | None = None,
+    segment_events: int = DEFAULT_SEGMENT_EVENTS,
     stream: TextIO | None = None,
 ) -> list[ExperimentResult]:
     """Run the requested experiments, printing each table as it finishes.
@@ -53,7 +54,8 @@ def run_many(
     ``seed`` is forwarded to every experiment (``None`` keeps each
     experiment's canonical default seed) and ``jobs`` sets the
     worker-process count for the underlying sweeps.  ``store`` makes every
-    sweep resumable (see :func:`run_experiment`).
+    sweep resumable (see :func:`run_experiment`); ``segment_events`` sets
+    the persisted trace-segment granularity for traced scenarios.
     """
 
     stream = stream or sys.stdout
@@ -62,7 +64,12 @@ def run_many(
     for experiment_id in ids:
         start = time.perf_counter()
         result = run_experiment(
-            experiment_id, scale=scale, seed=seed, jobs=jobs, store=store
+            experiment_id,
+            scale=scale,
+            seed=seed,
+            jobs=jobs,
+            store=store,
+            segment_events=segment_events,
         )
         elapsed = time.perf_counter() - start
         results.append(result)
@@ -133,9 +140,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="PATH",
         help="persist runs to (and resume from) a SQLite run store at PATH",
     )
+    parser.add_argument(
+        "--segment-events",
+        type=int,
+        default=DEFAULT_SEGMENT_EVENTS,
+        metavar="N",
+        help="events per persisted trace segment (traced scenarios with --store)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.segment_events < 1:
+        parser.error("--segment-events must be at least 1")
     store = RunStore(args.store) if args.store else None
     try:
         results = run_many(
@@ -144,6 +160,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
             jobs=args.jobs,
             store=store,
+            segment_events=args.segment_events,
         )
     finally:
         if store is not None:

@@ -30,6 +30,13 @@ and every query helper (:meth:`Trace.of_kind`, :meth:`Trace.for_node`,
 build event objects on demand from the columns, so the query API is
 unchanged while recording never allocates per-event objects.
 
+Aggregation happens on the columns too: :meth:`Trace.aggregate` groups
+events by round, node or kind and reduces them to counts or serialised
+payload-byte tallies without materialising a single :class:`TraceEvent` —
+the same rows :meth:`repro.store.db.StoredTrace.aggregate` computes
+segment-by-segment over persisted traces, so in-memory and stored answers
+are interchangeable (and asserted identical by the analytics tests).
+
 Recording happens through a narrow interface the engine kernels share:
 :meth:`Trace.record_event` appends one event without constructing a
 ``TraceEvent``, and the bulk variants
@@ -57,9 +64,20 @@ from enum import Enum
 from itertools import repeat
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from .messages import NodeId, Payload
+from .messages import NodeId, Payload, payload_nbytes
 
-__all__ = ["EventKind", "TraceEvent", "Trace"]
+__all__ = [
+    "DEFAULT_SEGMENT_EVENTS",
+    "EventKind",
+    "TraceEvent",
+    "Trace",
+    "format_aggregate_rows",
+]
+
+#: Default trace-segment granularity (events per sealed/persisted segment).
+#: Shared by :meth:`Trace.export_segments` callers, the spill mode and the
+#: run store layer (re-exported as ``repro.store.DEFAULT_SEGMENT_EVENTS``).
+DEFAULT_SEGMENT_EVENTS = 8192
 
 
 class EventKind(Enum):
@@ -94,12 +112,85 @@ class TraceEvent:
     detail: Any = None
 
 
+# -- aggregation plumbing (shared with repro.store.db.StoredTrace) -----------
+
+#: Grouping axes and reducers ``aggregate`` understands.
+AGGREGATE_GROUPS = ("round", "node", "kind")
+AGGREGATE_REDUCERS = ("count", "payload_bytes")
+
+
+def check_aggregate_args(
+    kinds, by: str, reduce
+) -> tuple[frozenset[int] | None, tuple[str, ...]]:
+    """Validate ``aggregate`` arguments; return (kind-code filter, reducers).
+
+    ``kinds`` may be ``None`` (all kinds), one :class:`EventKind` or an
+    iterable of them; ``reduce`` may be one reducer name or a sequence.
+    """
+
+    if by not in AGGREGATE_GROUPS:
+        raise ValueError(
+            f"by must be one of {AGGREGATE_GROUPS}, not {by!r}"
+        )
+    reducers = (reduce,) if isinstance(reduce, str) else tuple(reduce)
+    for name in reducers:
+        if name not in AGGREGATE_REDUCERS:
+            raise ValueError(
+                f"reduce must draw from {AGGREGATE_REDUCERS}, not {name!r}"
+            )
+    if not reducers:
+        raise ValueError("reduce must name at least one reducer")
+    if kinds is None:
+        return None, reducers
+    if isinstance(kinds, EventKind):
+        kinds = (kinds,)
+    return frozenset(_KIND_CODE[kind] for kind in kinds), reducers
+
+
+def format_aggregate_rows(
+    groups: dict, by: str, reducers: tuple[str, ...]
+) -> list[dict]:
+    """Turn an accumulated ``{group key: [tallies]}`` dict into sorted rows.
+
+    Kind groups come back in enum member order (matching ``kind_counts``),
+    round/node groups in ascending key order with ``None`` keys (events
+    without a node, e.g. ``ROUND_START``) last.  Row dicts are JSON-safe
+    and feed :func:`repro.analysis.tables.render_table` / ``aggregate_rows``
+    directly.
+    """
+
+    if by == "kind":
+        keys = [code for code in range(len(_KIND_BY_CODE)) if code in groups]
+        labels = [_KIND_BY_CODE[code].value for code in keys]
+    else:
+        keys = sorted(groups, key=lambda k: (k is None, k))
+        labels = keys
+    return [
+        {by: label, **dict(zip(reducers, groups[key]))}
+        for key, label in zip(keys, labels)
+    ]
+
+
 class Trace:
     """An append-only columnar event store with :class:`TraceEvent` views.
 
     The constructor accepts an optional iterable of pre-built events (for
     tests and reference models); the engines always start from an empty
     store and append through the ``record_*`` interface.
+
+    **Spill mode.** ``spill_to`` takes a segment sink (see
+    :meth:`repro.store.RunStore.trace_sink`): whenever the live columns
+    reach ``segment_events`` entries, the leading ``segment_events`` events
+    are sealed into a ``(footer, blobs)`` segment — byte- and
+    boundary-identical to what :meth:`export_segments` would have produced
+    on the full trace — written through the sink, and dropped from memory,
+    so peak trace memory is bounded by one segment regardless of run size.
+    While spilling, ``len``/``kind_counts`` cover the whole trace (sealed
+    footers plus the live tail) but the event-level queries only see the
+    unspilled tail; call :meth:`finalize_spill` after the run to seal the
+    tail and get the :class:`repro.store.StoredTrace` view over everything
+    (``SynchronousNetwork.run`` does this automatically and puts the stored
+    view on its :class:`RunResult`).
     """
 
     __slots__ = (
@@ -110,12 +201,25 @@ class Trace:
         "_peer_ids",
         "_payloads",
         "_details",
+        "_spill",
+        "_segment_events",
+        "_spilled_footers",
     )
 
     def __init__(
-        self, events: Iterable[TraceEvent] | None = None, enabled: bool = True
+        self,
+        events: Iterable[TraceEvent] | None = None,
+        enabled: bool = True,
+        *,
+        spill_to: Any = None,
+        segment_events: int = DEFAULT_SEGMENT_EVENTS,
     ) -> None:
+        if segment_events < 1:
+            raise ValueError("segment_events must be positive")
         self.enabled = enabled
+        self._spill = spill_to
+        self._segment_events = segment_events
+        self._spilled_footers: list[dict] = []
         self._kinds = array("B")
         self._rounds = array("q")
         self._node_ids: list[NodeId | None] = []
@@ -153,6 +257,8 @@ class Trace:
         self._peer_ids.append(peer_id)
         self._payloads.append(payload)
         self._details.append(detail)
+        if self._spill is not None and len(self._kinds) >= self._segment_events:
+            self._drain_spill()
 
     def record(self, event: TraceEvent) -> None:
         """Append a pre-built event (the non-hot-path entry point)."""
@@ -198,6 +304,8 @@ class Trace:
         self._peer_ids.extend(peer_column)
         self._payloads.extend(repeat(payload, k))
         self._details.extend(repeat(None, k))
+        if self._spill is not None and len(self._kinds) >= self._segment_events:
+            self._drain_spill()
 
     def record_sends_columnar(
         self,
@@ -249,8 +357,34 @@ class Trace:
 
     # -- persistence hooks -----------------------------------------------------
 
+    def _segment_slice(self, start: int, stop: int) -> tuple[dict, dict[str, bytes]]:
+        """Project events ``[start, stop)`` onto a ``(footer, blobs)`` pair."""
+
+        kinds = self._kinds[start:stop]
+        rounds = self._rounds[start:stop]
+        kind_counts = {}
+        for code, kind in enumerate(_KIND_BY_CODE):
+            count = kinds.count(code)
+            if count:
+                kind_counts[kind.value] = count
+        footer = {
+            "events": stop - start,
+            "kind_counts": kind_counts,
+            "round_min": min(rounds),
+            "round_max": max(rounds),
+        }
+        blobs = {
+            "kinds": kinds.tobytes(),
+            "rounds": rounds.tobytes(),
+            "nodes": pickle.dumps(self._node_ids[start:stop], protocol=4),
+            "peers": pickle.dumps(self._peer_ids[start:stop], protocol=4),
+            "payloads": pickle.dumps(self._payloads[start:stop], protocol=4),
+            "details": pickle.dumps(self._details[start:stop], protocol=4),
+        }
+        return footer, blobs
+
     def export_segments(
-        self, *, max_events: int = 8192
+        self, *, max_events: int = DEFAULT_SEGMENT_EVENTS
     ) -> list[tuple[dict, dict[str, bytes]]]:
         """Slice the columns into ``(footer, blobs)`` segments for persistence.
 
@@ -264,36 +398,70 @@ class Trace:
         (node/peer ids, payloads, details) are pickled lists, so payload
         sharing within a segment survives via the pickle memo.  An empty
         trace exports zero segments.
+
+        A spilling trace already streamed its segments through the sink;
+        exporting it again would double-persist, so it refuses.
         """
 
         if max_events < 1:
             raise ValueError("max_events must be positive")
-        segments = []
-        for start in range(0, len(self._kinds), max_events):
-            stop = min(start + max_events, len(self._kinds))
-            kinds = self._kinds[start:stop]
-            rounds = self._rounds[start:stop]
-            kind_counts = {}
-            for code, kind in enumerate(_KIND_BY_CODE):
-                count = kinds.count(code)
-                if count:
-                    kind_counts[kind.value] = count
-            footer = {
-                "events": stop - start,
-                "kind_counts": kind_counts,
-                "round_min": min(rounds),
-                "round_max": max(rounds),
-            }
-            blobs = {
-                "kinds": kinds.tobytes(),
-                "rounds": rounds.tobytes(),
-                "nodes": pickle.dumps(self._node_ids[start:stop], protocol=4),
-                "peers": pickle.dumps(self._peer_ids[start:stop], protocol=4),
-                "payloads": pickle.dumps(self._payloads[start:stop], protocol=4),
-                "details": pickle.dumps(self._details[start:stop], protocol=4),
-            }
-            segments.append((footer, blobs))
-        return segments
+        if self._spill is not None:
+            raise ValueError(
+                "trace is spilling to a store; its segments are already "
+                "persisted — use finalize_spill() instead of export_segments()"
+            )
+        return [
+            self._segment_slice(start, min(start + max_events, len(self._kinds)))
+            for start in range(0, len(self._kinds), max_events)
+        ]
+
+    # -- spill mode ------------------------------------------------------------
+
+    @property
+    def spilling(self) -> bool:
+        return self._spill is not None
+
+    @property
+    def spilled_segment_count(self) -> int:
+        return len(self._spilled_footers)
+
+    @property
+    def live_events(self) -> int:
+        """Events currently held in memory (the unspilled tail)."""
+
+        return len(self._kinds)
+
+    def _seal_segment(self, stop: int) -> None:
+        """Seal the leading ``stop`` events through the sink and drop them."""
+
+        footer, blobs = self._segment_slice(0, stop)
+        self._spill.write(len(self._spilled_footers), footer, blobs)
+        self._spilled_footers.append(footer)
+        del self._kinds[:stop]
+        del self._rounds[:stop]
+        del self._node_ids[:stop]
+        del self._peer_ids[:stop]
+        del self._payloads[:stop]
+        del self._details[:stop]
+
+    def _drain_spill(self) -> None:
+        while len(self._kinds) >= self._segment_events:
+            self._seal_segment(self._segment_events)
+
+    def finalize_spill(self):
+        """Seal the live tail and return the stored, fully queryable view.
+
+        The returned object is whatever the sink's ``stored_trace()``
+        yields — for a :meth:`repro.store.RunStore.trace_sink` that is a
+        :class:`repro.store.StoredTrace` whose query answers are
+        bit-identical to an in-memory trace of the same run.
+        """
+
+        if self._spill is None:
+            raise ValueError("trace has no spill sink to finalize")
+        if self._kinds:
+            self._seal_segment(len(self._kinds))
+        return self._spill.stored_trace()
 
     @classmethod
     def from_segment(cls, blobs: dict[str, bytes]) -> "Trace":
@@ -326,7 +494,43 @@ class Trace:
 
         return [self._view(i) for i in range(len(self._kinds))]
 
+    def event(self, index: int) -> TraceEvent:
+        """The event at ``index``, materialised on demand."""
+
+        if index < 0 or index >= len(self._kinds):
+            raise IndexError(index)
+        return self._view(index)
+
+    def first_difference(self, other: "Trace") -> int | None:
+        """Index of the first event at which two traces differ.
+
+        Compared column-wise (kind, round, node, peer, payload, detail)
+        without materialising events until a mismatch; a shared prefix
+        with differing lengths diverges at the shorter length, identical
+        traces return ``None``.  The per-segment primitive behind
+        :meth:`repro.store.RunStore.diff`'s trace section.
+        """
+
+        n = min(len(self._kinds), len(other._kinds))
+        for i in range(n):
+            if (
+                self._kinds[i] != other._kinds[i]
+                or self._rounds[i] != other._rounds[i]
+                or self._node_ids[i] != other._node_ids[i]
+                or self._peer_ids[i] != other._peer_ids[i]
+                or self._payloads[i] != other._payloads[i]
+                or self._details[i] != other._details[i]
+            ):
+                return i
+        if len(self._kinds) != len(other._kinds):
+            return n
+        return None
+
     def __len__(self) -> int:
+        if self._spilled_footers:
+            return sum(f["events"] for f in self._spilled_footers) + len(
+                self._kinds
+            )
         return len(self._kinds)
 
     def __iter__(self) -> Iterator[TraceEvent]:
@@ -361,12 +565,118 @@ class Trace:
             return None
 
     def kind_counts(self) -> dict[str, int]:
-        """Event counts per kind value (cheap: scans the byte column only)."""
+        """Event counts per kind value (cheap: scans the byte column only).
+
+        On a spilling trace this covers sealed footers plus the live tail,
+        so the totals always describe the whole run.
+        """
 
         kinds = self._kinds
+        spilled: dict[str, int] = {}
+        for footer in self._spilled_footers:
+            for value, count in footer["kind_counts"].items():
+                spilled[value] = spilled.get(value, 0) + count
         counts: dict[str, int] = {}
         for code, kind in enumerate(_KIND_BY_CODE):
-            count = kinds.count(code)
+            count = kinds.count(code) + spilled.get(kind.value, 0)
             if count:
                 counts[kind.value] = count
         return counts
+
+    # -- aggregation -----------------------------------------------------------
+
+    def accumulate_aggregate(
+        self,
+        groups: dict,
+        codes: frozenset[int] | None,
+        by: str,
+        reducers: Sequence[str],
+    ) -> None:
+        """Fold this trace's columns into a ``{group key: [tallies]}`` dict.
+
+        The accumulation primitive behind :meth:`aggregate` — and behind
+        :meth:`repro.store.db.StoredTrace.aggregate`, which calls it once
+        per loaded segment and merges into one shared dict.  Group keys are
+        kind *codes* for ``by="kind"`` (formatted to values by
+        :func:`format_aggregate_rows`), raw column values otherwise.  No
+        :class:`TraceEvent` is materialised.
+        """
+
+        kinds = self._kinds
+        keys = (
+            kinds
+            if by == "kind"
+            else self._rounds if by == "round" else self._node_ids
+        )
+        slots = len(reducers)
+        count_slot = reducers.index("count") if "count" in reducers else None
+        bytes_slot = (
+            reducers.index("payload_bytes")
+            if "payload_bytes" in reducers
+            else None
+        )
+        payloads = self._payloads
+        for i in range(len(kinds)):
+            if codes is not None and kinds[i] not in codes:
+                continue
+            key = keys[i]
+            tally = groups.get(key)
+            if tally is None:
+                tally = groups[key] = [0] * slots
+            if count_slot is not None:
+                tally[count_slot] += 1
+            if bytes_slot is not None:
+                payload = payloads[i]
+                if payload is not None:
+                    tally[bytes_slot] += payload_nbytes(payload)
+
+    def aggregate(
+        self,
+        kinds=None,
+        *,
+        by: str = "round",
+        reduce="count",
+    ) -> list[dict]:
+        """Group-and-reduce straight on the columns (no event objects).
+
+        ``kinds`` filters to one :class:`EventKind` or an iterable of them
+        (``None`` keeps every kind); ``by`` groups by ``"round"``,
+        ``"node"`` or ``"kind"``; ``reduce`` names one or more reducers —
+        ``"count"`` (events per group) and/or ``"payload_bytes"``
+        (serialised payload bytes per group, via
+        :func:`repro.sim.messages.payload_nbytes`; events without a
+        payload contribute zero).  Returns one JSON-safe row per group,
+        e.g. ``{"round": 3, "count": 120, "payload_bytes": 5400}`` —
+        ready for :mod:`repro.analysis.tables` renderers and pivots.
+        """
+
+        codes, reducers = check_aggregate_args(kinds, by, reduce)
+        groups: dict = {}
+        self.accumulate_aggregate(groups, codes, by, reducers)
+        return format_aggregate_rows(groups, by, reducers)
+
+    def select(
+        self,
+        *,
+        kind: EventKind | None = None,
+        round_index: int | None = None,
+        node_id: NodeId | None = None,
+    ) -> list[TraceEvent]:
+        """Events matching every given filter, in recording order.
+
+        The conjunction the streaming trace endpoint applies per segment;
+        filters are tested on the raw columns and only matching events are
+        materialised.
+        """
+
+        code = _KIND_CODE[kind] if kind is not None else None
+        out: list[TraceEvent] = []
+        for i in range(len(self._kinds)):
+            if code is not None and self._kinds[i] != code:
+                continue
+            if round_index is not None and self._rounds[i] != round_index:
+                continue
+            if node_id is not None and self._node_ids[i] != node_id:
+                continue
+            out.append(self._view(i))
+        return out

@@ -81,7 +81,7 @@ from .errors import (
     MembershipError,
     RoundLimitExceeded,
 )
-from .events import EventKind, Trace
+from .events import DEFAULT_SEGMENT_EVENTS, EventKind, Trace
 from .messages import (
     Broadcast,
     Envelope,
@@ -146,7 +146,11 @@ class RunResult:
 
     processes: dict[NodeId, Process]
     metrics: RunMetrics
-    trace: Trace
+    #: The run's trace: an in-memory :class:`Trace`, or — when the network
+    #: was spilling (``enable_trace_spill``) — the finalized
+    #: :class:`repro.store.StoredTrace` view, which answers the same query
+    #: API bit-identically.
+    trace: Any
     rounds_executed: int
     stop_reason: str
 
@@ -320,6 +324,33 @@ class SynchronousNetwork:
         if self._engine != "auto":
             return self._engine
         return "fast" if self._delay_model.synchronous else "queue"
+
+    def enable_trace_spill(
+        self, sink, *, segment_events: int = DEFAULT_SEGMENT_EVENTS
+    ) -> None:
+        """Flush sealed trace segments through ``sink`` during the run.
+
+        ``sink`` is a segment sink (see
+        :meth:`repro.store.RunStore.trace_sink`); while the run executes,
+        every ``segment_events`` recorded events are sealed and written
+        out, bounding peak trace memory by one segment.  :meth:`run`
+        finalizes the spill when it completes and puts the resulting
+        stored view on ``RunResult.trace``, so callers query the finished
+        trace exactly as they would an in-memory one.  Must be configured
+        on a traced network before the first round.
+        """
+
+        if not self._trace.enabled:
+            raise ConfigurationError(
+                "trace spill requires tracing (construct with trace=True)"
+            )
+        if self._round > 0 or len(self._trace):
+            raise ConfigurationError(
+                "trace spill must be enabled before the run starts"
+            )
+        self._trace = Trace(
+            enabled=True, spill_to=sink, segment_events=segment_events
+        )
 
     def enable_payload_accounting(self) -> None:
         """Record serialised payload bytes alongside the message counters.
@@ -874,10 +905,16 @@ class SynchronousNetwork:
             if condition(self):
                 stop_reason = "stop_condition"
                 break
+        trace = self._trace
+        if trace.spilling:
+            # Seal the tail and hand back the fully queryable stored view;
+            # see enable_trace_spill.  The live Trace stays attached to the
+            # network but is empty from here on.
+            trace = trace.finalize_spill()
         result = RunResult(
             processes=dict(self._processes),
             metrics=self._metrics,
-            trace=self._trace,
+            trace=trace,
             rounds_executed=self._round,
             stop_reason=stop_reason,
         )

@@ -55,13 +55,41 @@ The schema (version 1)
     count, per-kind counts, round range) plus the six column blobs.
     :class:`StoredTrace` answers ``of_kind``/``in_round``/``decisions``
     by consulting footers first and loading only segments that can
-    match; ``kind_counts``/``len`` never touch a blob.
+    match; ``kind_counts``/``len`` never touch a blob, and
+    :meth:`StoredTrace.aggregate` reduces per-round/per-node/per-kind
+    counts and payload-byte tallies one segment at a time without
+    materialising events.
+
+The spill-segment contract
+--------------------------
+Trace segments reach ``trace_segments`` by one of two exclusive routes:
+
+* **post-run export** — ``Trace.export_segments`` slices the finished
+  in-memory trace and :meth:`RunStore.put_run` writes the slices with
+  the rest of the record (deleting any stale segments for the key
+  first); or
+* **in-run spill** — :meth:`RunStore.trace_sink` hands out a
+  :class:`~repro.store.db.TraceSegmentSink` (clearing stale segments up
+  front); ``Trace(spill_to=sink, segment_events=N)`` then seals and
+  writes each exactly-``N``-event segment the moment the live columns
+  fill, each in its own committed transaction.  Peak trace memory is
+  bounded by one segment, WAL readers only ever observe fully committed
+  sealed segments, and the record persisted afterwards must carry
+  ``trace_spilled=True`` so ``put_run`` leaves the streamed segments in
+  place.
+
+Both routes produce byte-identical segments for the same run and
+granularity (spill seals exactly the slices export would have cut), so
+every consumer — :class:`StoredTrace` queries, ``aggregate``, trace
+diffs, the streaming endpoint — is agnostic to how the trace arrived;
+``tests/test_trace_analytics.py`` pins the equivalence.
 
 Entry points
 ------------
-:class:`RunStore` (open/query/diff/pivot), :class:`ResumableSweep`
-(store-first sweep execution), ``python -m repro.store.serve`` (HTTP
-service with NDJSON progress streaming).
+:class:`RunStore` (open/query/diff/pivot, ``get_trace``/``trace_sink``),
+:class:`ResumableSweep` (store-first sweep execution),
+``python -m repro.store.serve`` (HTTP service with NDJSON progress and
+trace streaming).
 """
 
 from .db import (
@@ -72,6 +100,7 @@ from .db import (
     StoredRun,
     StoredTrace,
     StoreError,
+    TraceSegmentSink,
 )
 from .digest import code_fingerprint, run_key, spec_digest, sweep_digest
 from .resumable import (
@@ -92,6 +121,7 @@ __all__ = [
     "RunRecord",
     "StoredRun",
     "StoredTrace",
+    "TraceSegmentSink",
     "ResumableSweep",
     "SweepReport",
     "record_from_outcome",

@@ -26,7 +26,13 @@ from typing import Any, Callable, Iterator, Sequence
 
 from ..analysis.stats import aggregate_rows
 from ..api.spec import ScenarioSpec
-from ..sim.events import EventKind, Trace, TraceEvent
+from ..sim.events import (
+    EventKind,
+    Trace,
+    TraceEvent,
+    check_aggregate_args,
+    format_aggregate_rows,
+)
 from ..sim.metrics import DecisionRecord, RunMetrics
 from .serialize import canonical_dumps, pickle_loads
 
@@ -37,6 +43,7 @@ __all__ = [
     "RunRecord",
     "StoredRun",
     "StoredTrace",
+    "TraceSegmentSink",
     "RunStore",
 ]
 
@@ -49,9 +56,24 @@ DEFAULT_ROW_FN = "default"
 
 _TRACE_BLOB_NAMES = ("kinds", "rounds", "nodes", "peers", "payloads", "details")
 
+#: Kind value <-> column code mapping (enum member order, matching
+#: ``repro.sim.events``); used to translate footer ``kind_counts`` keys
+#: (kind *values*) into the codes the aggregation plumbing groups by.
+_KIND_CODE_BY_VALUE = {kind.value: code for code, kind in enumerate(EventKind)}
+
 
 class StoreError(RuntimeError):
     """A run store could not be opened, validated or read."""
+
+
+def _sum_kind_counts(footers: Sequence[dict]) -> dict[str, int]:
+    """Total per-kind event counts across a run's segment footers."""
+
+    counts: dict[str, int] = {}
+    for footer in footers:
+        for value, count in footer["kind_counts"].items():
+            counts[value] = counts.get(value, 0) + count
+    return counts
 
 
 # ---------------------------------------------------------------------------
@@ -86,6 +108,11 @@ class RunRecord:
     per_node_blob: bytes | None = None
     round_columns: dict[str, bytes] = field(default_factory=dict)
     trace_segments: list[tuple[dict, dict[str, bytes]]] = field(default_factory=list)
+    #: True when the run's trace segments were already streamed into the
+    #: store by an in-run spill sink (:meth:`RunStore.trace_sink`);
+    #: :meth:`RunStore.put_run` then leaves the ``trace_segments`` table
+    #: alone instead of deleting what the spill just wrote.
+    trace_spilled: bool = False
 
     def per_round(self) -> list[dict]:
         """Per-round metric dicts decoded from the column blobs."""
@@ -197,6 +224,104 @@ class StoredTrace:
                 return found
         return None
 
+    # -- columnar analytics ------------------------------------------------
+
+    def aggregate(
+        self,
+        kinds=None,
+        *,
+        by: str = "round",
+        reduce="count",
+    ) -> list[dict]:
+        """Group-and-reduce over the persisted segments, footer-pruned.
+
+        Same signature and bit-identical rows as
+        :meth:`repro.sim.events.Trace.aggregate` — group by ``"round"``,
+        ``"node"`` or ``"kind"``, reduce to ``"count"`` and/or
+        ``"payload_bytes"`` — but computed segment by segment on the raw
+        columns, so no :class:`TraceEvent` is ever allocated and at most
+        one segment's blobs are decoded at a time.  Footer pruning
+        applies twice over: a ``by="kind"`` count-only aggregate is pure
+        footer arithmetic (zero blob I/O), and a ``kinds`` filter skips
+        every segment whose footer shows no matching events.
+        """
+
+        codes, reducers = check_aggregate_args(kinds, by, reduce)
+        groups: dict = {}
+        if by == "kind" and set(reducers) == {"count"}:
+            for footer in self._footers:
+                for value, count in footer["kind_counts"].items():
+                    code = _KIND_CODE_BY_VALUE[value]
+                    if codes is not None and code not in codes:
+                        continue
+                    tally = groups.get(code)
+                    if tally is None:
+                        tally = groups[code] = [0] * len(reducers)
+                    for slot in range(len(reducers)):
+                        tally[slot] += count
+            return format_aggregate_rows(groups, by, reducers)
+        if codes is None:
+            relevant = range(len(self._footers))
+        else:
+            values = [
+                value
+                for value, code in _KIND_CODE_BY_VALUE.items()
+                if code in codes
+            ]
+            relevant = [
+                index
+                for index, footer in enumerate(self._footers)
+                if any(footer["kind_counts"].get(v, 0) for v in values)
+            ]
+        for index in relevant:
+            self._segment(index).accumulate_aggregate(groups, codes, by, reducers)
+        return format_aggregate_rows(groups, by, reducers)
+
+    def select(
+        self,
+        *,
+        kind: EventKind | None = None,
+        round_index: int | None = None,
+        node_id=None,
+    ) -> list[TraceEvent]:
+        """Events matching every given filter (conjunction), footer-pruned."""
+
+        events: list[TraceEvent] = []
+        for _, batch in self.select_batches(
+            kind=kind, round_index=round_index, node_id=node_id
+        ):
+            events.extend(batch)
+        return events
+
+    def select_batches(
+        self,
+        *,
+        kind: EventKind | None = None,
+        round_index: int | None = None,
+        node_id=None,
+    ) -> Iterator[tuple[int, list[TraceEvent]]]:
+        """Yield ``(segment_index, matching events)`` one segment at a time.
+
+        The streaming primitive behind the service's ``/runs/<key>/trace``
+        endpoint: segments whose footers cannot match are skipped without
+        blob I/O, and each yielded batch is independent, so a consumer
+        holds at most one segment's events at once.
+        """
+
+        for index, footer in enumerate(self._footers):
+            if (
+                kind is not None
+                and footer["kind_counts"].get(kind.value, 0) == 0
+            ):
+                continue
+            if round_index is not None and not (
+                footer["round_min"] <= round_index <= footer["round_max"]
+            ):
+                continue
+            yield index, self._segment(index).select(
+                kind=kind, round_index=round_index, node_id=node_id
+            )
+
 
 @dataclass
 class StoredRun:
@@ -284,6 +409,44 @@ class StoredRun:
             "elapsed_seconds": self.elapsed_seconds,
             "created_at": self.created_at,
         }
+
+
+class TraceSegmentSink:
+    """Write-through spill target for one run's trace segments.
+
+    Handed to ``Trace(spill_to=sink)`` (usually via
+    :meth:`SynchronousNetwork.enable_trace_spill`); each sealed segment
+    is written in its own committed transaction, so under WAL concurrent
+    readers observe complete sealed segments only — never a torn one.
+    Create through :meth:`RunStore.trace_sink`, which clears any stale
+    segments for the key first.
+    """
+
+    def __init__(self, store: "RunStore", run_key: str) -> None:
+        self._store = store
+        self.run_key = run_key
+        self.segments_written = 0
+
+    def write(self, index: int, footer: dict, blobs: dict[str, bytes]) -> None:
+        conn = self._store._conn
+        with conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO trace_segments (run_key, "
+                "segment_index, footer_json, kinds, rounds, nodes, peers, "
+                "payloads, details) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    self.run_key,
+                    index,
+                    canonical_dumps(footer),
+                    *(blobs[name] for name in _TRACE_BLOB_NAMES),
+                ),
+            )
+        self.segments_written += 1
+
+    def stored_trace(self) -> StoredTrace:
+        """The fully queryable view over everything written so far."""
+
+        return self._store._load_trace(self.run_key)
 
 
 # ---------------------------------------------------------------------------
@@ -481,29 +644,50 @@ class RunStore:
                     for name, data in record.round_columns.items()
                 ],
             )
-            self._conn.execute(
-                "DELETE FROM trace_segments WHERE run_key = ?", (record.run_key,)
-            )
-            self._conn.executemany(
-                "INSERT INTO trace_segments (run_key, segment_index, "
-                "footer_json, kinds, rounds, nodes, peers, payloads, details) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                [
-                    (
-                        record.run_key,
-                        index,
-                        canonical_dumps(footer),
-                        *(blobs[name] for name in _TRACE_BLOB_NAMES),
-                    )
-                    for index, (footer, blobs) in enumerate(record.trace_segments)
-                ],
-            )
+            if not record.trace_spilled:
+                # A spilled run's segments were already streamed into
+                # trace_segments by the sink; rewriting would drop them.
+                self._conn.execute(
+                    "DELETE FROM trace_segments WHERE run_key = ?",
+                    (record.run_key,),
+                )
+                self._conn.executemany(
+                    "INSERT INTO trace_segments (run_key, segment_index, "
+                    "footer_json, kinds, rounds, nodes, peers, payloads, "
+                    "details) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    [
+                        (
+                            record.run_key,
+                            index,
+                            canonical_dumps(footer),
+                            *(blobs[name] for name in _TRACE_BLOB_NAMES),
+                        )
+                        for index, (footer, blobs) in enumerate(
+                            record.trace_segments
+                        )
+                    ],
+                )
             if row is not None:
                 self._conn.execute(
                     "INSERT OR REPLACE INTO rows (run_key, row_fn, row_json) "
                     "VALUES (?, ?, ?)",
                     (record.run_key, row_fn, canonical_dumps(row)),
                 )
+
+    def trace_sink(self, run_key: str) -> TraceSegmentSink:
+        """A spill sink for ``run_key``, clearing any stale segments first.
+
+        Pass the result to ``Trace(spill_to=...)`` or
+        ``SynchronousNetwork.enable_trace_spill``; persist the run's
+        :class:`RunRecord` afterwards with ``trace_spilled=True`` so
+        :meth:`put_run` leaves the streamed segments in place.
+        """
+
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM trace_segments WHERE run_key = ?", (run_key,)
+            )
+        return TraceSegmentSink(self, run_key)
 
     def put_row(self, run_key: str, row_fn: str, row: dict) -> None:
         """Attach an additional extracted row to an existing run."""
@@ -560,6 +744,17 @@ class RunStore:
             _spec_json=spec_json,
             _store=self,
         )
+
+    def get_trace(self, run_key: str) -> StoredTrace | None:
+        """The persisted trace for a stored run (``None`` if no such run).
+
+        A stored but untraced run yields an empty :class:`StoredTrace`
+        (zero segments), not ``None``.
+        """
+
+        if self.get_run(run_key) is None:
+            return None
+        return self._load_trace(run_key)
 
     def get_row(self, run_key: str, row_fn: str = DEFAULT_ROW_FN) -> dict | None:
         """The extracted row for a *complete* run, or ``None`` on a miss."""
@@ -648,11 +843,23 @@ class RunStore:
         )
 
     def diff(self, run_key_a: str, run_key_b: str) -> dict[str, Any]:
-        """Cross-run diff: spec fields, summary metrics, per-round columns.
+        """Cross-run diff: spec fields, summary metrics, per-round columns
+        and the persisted traces.
 
         ``per_round`` maps each differing column to the first index at
         which the two runs diverge (length mismatches count from the end
-        of the shorter column).
+        of the shorter column); a column only one run stored maps to the
+        string ``"missing"`` instead of an index — a run persisted
+        without per-round metrics (e.g. a lightweight benchmark cell)
+        diffs cleanly rather than raising.
+
+        ``trace`` is ``{}`` when the stored traces are identical (or both
+        runs are untraced); otherwise it reports total event counts,
+        per-kind count deltas (differing kinds only) and the first
+        divergent event as ``{"segment", "index", "kind", "round"}``.
+        Segments are compared pair-wise with cheap exits — matching
+        footers plus byte-identical blobs skip without decoding — so
+        diffing two identical traced runs never materialises an event.
         """
 
         a, b = self.get_run(run_key_a), self.get_run(run_key_b)
@@ -662,9 +869,12 @@ class RunStore:
         spec_a, spec_b = a.spec.to_dict(), b.spec.to_dict()
         cols_a = self._decode_round_columns(run_key_a)
         cols_b = self._decode_round_columns(run_key_b)
-        per_round: dict[str, int] = {}
+        per_round: dict[str, int | str] = {}
         for name in sorted(set(cols_a) | set(cols_b)):
-            xa, xb = cols_a.get(name, []), cols_b.get(name, [])
+            if name not in cols_a or name not in cols_b:
+                per_round[name] = "missing"
+                continue
+            xa, xb = cols_a[name], cols_b[name]
             if xa == xb:
                 continue
             shared = min(len(xa), len(xb))
@@ -684,6 +894,80 @@ class RunStore:
                 if a.summary.get(k) != b.summary.get(k)
             },
             "per_round": per_round,
+            "trace": self._diff_trace(run_key_a, run_key_b),
+        }
+
+    def _diff_trace(self, run_key_a: str, run_key_b: str) -> dict[str, Any]:
+        footers_a = self._load_trace_footers(run_key_a)
+        footers_b = self._load_trace_footers(run_key_b)
+        if not footers_a and not footers_b:
+            return {}
+        counts_a = _sum_kind_counts(footers_a)
+        counts_b = _sum_kind_counts(footers_b)
+        events_a = sum(f["events"] for f in footers_a)
+        events_b = sum(f["events"] for f in footers_b)
+        divergence: dict[str, Any] | None = None
+        shared = min(len(footers_a), len(footers_b))
+        for index in range(shared):
+            blobs_a = self._load_segment_blobs(run_key_a, index)
+            blobs_b = self._load_segment_blobs(run_key_b, index)
+            if footers_a[index] == footers_b[index] and blobs_a == blobs_b:
+                continue
+            seg_a = Trace.from_segment(blobs_a)
+            seg_b = Trace.from_segment(blobs_b)
+            at = seg_a.first_difference(seg_b)
+            if at is None:
+                continue  # blobs differ byte-wise but decode identically
+            ea = seg_a.event(at) if at < len(seg_a) else None
+            eb = seg_b.event(at) if at < len(seg_b) else None
+            divergence = {
+                "segment": index,
+                "index": at,
+                "kind": [
+                    ea.kind.value if ea else None,
+                    eb.kind.value if eb else None,
+                ],
+                "round": [
+                    ea.round_index if ea else None,
+                    eb.round_index if eb else None,
+                ],
+            }
+            break
+        if divergence is None and len(footers_a) != len(footers_b):
+            # Shared segments identical; the longer trace diverges at the
+            # first event of its first extra segment.
+            longer_key = run_key_a if len(footers_a) > shared else run_key_b
+            extra = Trace.from_segment(
+                self._load_segment_blobs(longer_key, shared)
+            )
+            event = extra.event(0)
+            a_side = longer_key == run_key_a
+            divergence = {
+                "segment": shared,
+                "index": 0,
+                "kind": [
+                    event.kind.value if a_side else None,
+                    None if a_side else event.kind.value,
+                ],
+                "round": [
+                    event.round_index if a_side else None,
+                    None if a_side else event.round_index,
+                ],
+            }
+        kind_deltas = {
+            kind.value: [
+                counts_a.get(kind.value, 0),
+                counts_b.get(kind.value, 0),
+            ]
+            for kind in EventKind
+            if counts_a.get(kind.value, 0) != counts_b.get(kind.value, 0)
+        }
+        if divergence is None and not kind_deltas and events_a == events_b:
+            return {}
+        return {
+            "events": [events_a, events_b],
+            "kind_counts": kind_deltas,
+            "first_divergence": divergence,
         }
 
     # -- blob plumbing (used by StoredRun/StoredTrace) ---------------------
@@ -711,8 +995,8 @@ class RunStore:
             decoded[name] = column.tolist()
         return decoded
 
-    def _load_trace(self, run_key: str) -> StoredTrace:
-        footers = [
+    def _load_trace_footers(self, run_key: str) -> list[dict]:
+        return [
             json.loads(footer_json)
             for (footer_json,) in self._conn.execute(
                 "SELECT footer_json FROM trace_segments WHERE run_key = ? "
@@ -721,16 +1005,22 @@ class RunStore:
             )
         ]
 
+    def _load_segment_blobs(self, run_key: str, index: int) -> dict[str, bytes]:
+        found = self._conn.execute(
+            f"SELECT {', '.join(_TRACE_BLOB_NAMES)} FROM trace_segments "
+            "WHERE run_key = ? AND segment_index = ?",
+            (run_key, index),
+        ).fetchone()
+        if found is None:  # pragma: no cover - segments deleted mid-read
+            raise StoreError(
+                f"trace segment {index} of run {run_key} disappeared"
+            )
+        return dict(zip(_TRACE_BLOB_NAMES, found))
+
+    def _load_trace(self, run_key: str) -> StoredTrace:
+        footers = self._load_trace_footers(run_key)
+
         def load(index: int) -> Trace:
-            found = self._conn.execute(
-                f"SELECT {', '.join(_TRACE_BLOB_NAMES)} FROM trace_segments "
-                "WHERE run_key = ? AND segment_index = ?",
-                (run_key, index),
-            ).fetchone()
-            if found is None:  # pragma: no cover - segments deleted mid-read
-                raise StoreError(
-                    f"trace segment {index} of run {run_key} disappeared"
-                )
-            return Trace.from_segment(dict(zip(_TRACE_BLOB_NAMES, found)))
+            return Trace.from_segment(self._load_segment_blobs(run_key, index))
 
         return StoredTrace(footers, load)

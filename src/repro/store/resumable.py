@@ -33,6 +33,7 @@ from ..api.sweep import (
     run_scenario,
 )
 from ..analysis.stats import aggregate_rows
+from ..sim.events import DEFAULT_SEGMENT_EVENTS
 from .db import RunRecord, RunStore, StoreError
 from .digest import code_fingerprint, run_key
 from .serialize import json_normalize, pickle_dumps
@@ -44,9 +45,6 @@ __all__ = [
     "record_from_outcome",
     "row_fn_name",
 ]
-
-#: Default trace-segment granularity (events per persisted segment).
-DEFAULT_SEGMENT_EVENTS = 8192
 
 #: Rich progress callback: ``(index, spec, row, record, cached)`` — the
 #: record is a RunRecord for fresh cells and a StoredRun for cache hits;

@@ -22,9 +22,20 @@ replays the prefix to late joiners before handing them live events.
 
 Query endpoints: ``GET /health``, ``GET /runs`` (filters as query params),
 ``GET /runs/<run_key>``, ``GET /runs/<run_key>/rounds``,
-``GET /sweeps/<id>``.  SQLite connections are per-thread (the handler pool
-opens read-only-use stores on demand); the sweep executor thread is the
-only writer, preserving the store's single-writer discipline.
+``GET /sweeps/<id>``.  ``GET /runs/<run_key>/trace?kind=&round=`` streams
+the persisted trace as NDJSON — a ``trace-start`` header line, one
+``segment`` batch per stored segment with matching events (footer-pruned,
+so filtered queries never load irrelevant blobs), then ``trace-complete``
+— the same connection-close replay semantics as the sweep stream.  SQLite
+connections are per-thread (the handler pool opens read-only-use stores
+on demand); the sweep executor thread is the only writer, preserving the
+store's single-writer discipline.
+
+Client disconnects mid-stream (``BrokenPipeError``/
+``ConnectionResetError``) are clean unsubscribes: the handler swallows
+them wherever they surface (event loop, response write or the final
+flush in ``handle_one_request``) so a vanished client never dumps a
+traceback through ``handle_error`` or poisons its worker thread.
 
 If FastAPI happens to be installed, :func:`create_fastapi_app` exposes the
 same service as an ASGI app; the stdlib server remains the supported path
@@ -42,11 +53,47 @@ from typing import Any, Iterator
 from urllib.parse import parse_qs, urlparse
 
 from ..api.sweep import SweepSpec
-from .db import RunStore, StoreError
+from ..sim.events import EventKind, TraceEvent
+from .db import RunStore, StoredTrace, StoreError
 from .resumable import DEFAULT_SEGMENT_EVENTS, ResumableSweep
 from .serialize import canonical_dumps
 
 __all__ = ["ScenarioService", "SweepJob", "create_server", "create_fastapi_app"]
+
+
+def _trace_event_json(event: TraceEvent) -> dict:
+    """One trace event as a JSON-safe dict (payload/detail via ``repr``)."""
+
+    return {
+        "kind": event.kind.value,
+        "round": event.round_index,
+        "node": event.node_id,
+        "peer": event.peer_id,
+        "payload": None if event.payload is None else repr(event.payload),
+        "detail": None if event.detail is None else repr(event.detail),
+    }
+
+
+def _parse_trace_filters(
+    query: dict[str, list[str]]
+) -> tuple[EventKind | None, int | None]:
+    """Decode the ``kind``/``round`` query params, raising on bad values."""
+
+    kind: EventKind | None = None
+    round_index: int | None = None
+    if query.get("kind"):
+        value = query["kind"][0]
+        try:
+            kind = EventKind(value)
+        except ValueError:
+            known = ", ".join(k.value for k in EventKind)
+            raise ValueError(f"unknown kind {value!r}; known: {known}")
+    if query.get("round"):
+        try:
+            round_index = int(query["round"][0])
+        except ValueError:
+            raise ValueError(f"round must be an integer, not {query['round'][0]!r}")
+    return kind, round_index
 
 _SWEEP_FIELDS = frozenset(f.name for f in dataclasses.fields(SweepSpec))
 
@@ -276,6 +323,10 @@ class ScenarioService:
         run = self.reader().get_run(run_key)
         return run.per_round() if run else None
 
+    def get_trace(self, run_key: str) -> StoredTrace | None:
+        run = self.reader().get_run(run_key)
+        return run.trace() if run else None
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Routes requests to the shared :class:`ScenarioService`."""
@@ -287,6 +338,22 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # keep test/CI output clean
+
+    def handle(self) -> None:
+        """Treat mid-write client disconnects as clean unsubscribes.
+
+        ``_stream_events``/``_stream_trace`` already swallow disconnects
+        inside their write loops, but the trailing ``wfile.flush()`` in
+        ``handle_one_request`` (and any non-streaming response write) can
+        still raise after the client vanishes; without this guard the
+        exception escapes to ``socketserver``'s ``handle_error`` and dumps
+        a traceback from the worker thread.
+        """
+
+        try:
+            super().handle()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
 
     # -- response helpers ---------------------------------------------------
 
@@ -312,6 +379,50 @@ class _Handler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; the job keeps running
 
+    def _stream_trace(
+        self,
+        run_key: str,
+        trace: StoredTrace,
+        kind: EventKind | None,
+        round_index: int | None,
+    ) -> None:
+        """NDJSON the stored trace, one batch per segment with matches."""
+
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+
+        def write(obj: dict) -> None:
+            self.wfile.write((canonical_dumps(obj) + "\n").encode("ascii"))
+            self.wfile.flush()
+
+        try:
+            write(
+                {
+                    "event": "trace-start",
+                    "run_key": run_key,
+                    "segments": trace.segment_count,
+                    "events": len(trace),
+                }
+            )
+            streamed = 0
+            for segment_index, batch in trace.select_batches(
+                kind=kind, round_index=round_index
+            ):
+                if not batch:
+                    continue
+                write(
+                    {
+                        "event": "segment",
+                        "segment": segment_index,
+                        "events": [_trace_event_json(e) for e in batch],
+                    }
+                )
+                streamed += len(batch)
+            write({"event": "trace-complete", "streamed": streamed})
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-replay; nothing to clean up
+
     # -- routing ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
@@ -334,6 +445,17 @@ class _Handler(BaseHTTPRequestHandler):
                     self._send_error(404, f"no run {parts[1]}")
                 else:
                     self._send_json(rounds)
+            elif len(parts) == 3 and parts[0] == "runs" and parts[2] == "trace":
+                try:
+                    kind, round_index = _parse_trace_filters(parse_qs(url.query))
+                except ValueError as exc:
+                    self._send_error(400, str(exc))
+                    return
+                trace = self.service.get_trace(parts[1])
+                if trace is None:
+                    self._send_error(404, f"no run {parts[1]}")
+                else:
+                    self._stream_trace(parts[1], trace, kind, round_index)
             elif len(parts) == 2 and parts[0] == "sweeps":
                 job = self.service.get_job(parts[1])
                 if job is None:
@@ -446,6 +568,50 @@ def create_fastapi_app(store_path: str, *, jobs: int = 1, engine: str | None = N
         if found is None:
             raise HTTPException(status_code=404, detail=f"no run {run_key}")
         return found
+
+    @app.get("/runs/{run_key}/trace")
+    def trace(run_key: str, kind: str | None = None, round: int | None = None):
+        query: dict[str, list[str]] = {}
+        if kind is not None:
+            query["kind"] = [kind]
+        if round is not None:
+            query["round"] = [str(round)]
+        try:
+            kind_filter, round_index = _parse_trace_filters(query)
+        except ValueError as exc:
+            raise HTTPException(status_code=400, detail=str(exc))
+        stored = service.get_trace(run_key)
+        if stored is None:
+            raise HTTPException(status_code=404, detail=f"no run {run_key}")
+
+        def lines():
+            yield canonical_dumps(
+                {
+                    "event": "trace-start",
+                    "run_key": run_key,
+                    "segments": stored.segment_count,
+                    "events": len(stored),
+                }
+            ) + "\n"
+            streamed = 0
+            for segment_index, batch in stored.select_batches(
+                kind=kind_filter, round_index=round_index
+            ):
+                if not batch:
+                    continue
+                yield canonical_dumps(
+                    {
+                        "event": "segment",
+                        "segment": segment_index,
+                        "events": [_trace_event_json(e) for e in batch],
+                    }
+                ) + "\n"
+                streamed += len(batch)
+            yield canonical_dumps(
+                {"event": "trace-complete", "streamed": streamed}
+            ) + "\n"
+
+        return StreamingResponse(lines(), media_type="application/x-ndjson")
 
     @app.post("/sweeps", status_code=202)
     def sweeps(payload: dict) -> dict:

@@ -428,11 +428,85 @@ def test_diff_reports_spec_summary_and_divergence(store):
         "spec": {},
         "summary": {},
         "per_round": {},
+        "trace": {},
     }
     diff = store.diff(key_a, key_b)
     assert diff["spec"] == {"seed": [1, 2]}
     with pytest.raises(StoreError, match="not in the store"):
         store.diff(key_a, "0" * 64)
+
+
+def test_diff_marks_missing_round_columns(store):
+    spec_a, spec_b = small_spec(seed=1), small_spec(seed=2)
+    record_a = record_from_outcome(run_scenario(spec_a), code_version="test")
+    record_b = record_from_outcome(run_scenario(spec_b), code_version="test")
+    # A lightweight record (e.g. a bench cell) stores no per-round columns.
+    record_b.round_columns = {}
+    store.put_run(record_a)
+    store.put_run(record_b)
+    diff = store.diff(record_a.run_key, record_b.run_key)
+    assert diff["per_round"]
+    assert set(diff["per_round"].values()) == {"missing"}
+    # Differing column *sets* mark only the asymmetric columns.
+    record_c = record_from_outcome(run_scenario(spec_b), code_version="other")
+    dropped = sorted(record_c.round_columns)[0]
+    del record_c.round_columns[dropped]
+    store.put_run(record_c)
+    diff = store.diff(record_a.run_key, record_c.run_key)
+    assert diff["per_round"][dropped] == "missing"
+
+
+def test_diff_trace_section_reports_divergence(store):
+    spec_a, spec_b = (
+        small_spec(seed=1, trace=True),
+        small_spec(seed=2, trace=True),
+    )
+    record_a = record_from_outcome(run_scenario(spec_a), code_version="test")
+    record_b = record_from_outcome(run_scenario(spec_b), code_version="test")
+    store.put_run(record_a)
+    store.put_run(record_b)
+    # Identical traces: empty section (and no segment decoded to prove it).
+    assert store.diff(record_a.run_key, record_a.run_key)["trace"] == {}
+    section = store.diff(record_a.run_key, record_b.run_key)["trace"]
+    assert section["events"] == [
+        sum(f["events"] for f, _ in record_a.trace_segments),
+        sum(f["events"] for f, _ in record_b.trace_segments),
+    ]
+    divergence = section["first_divergence"]
+    assert divergence is not None
+    assert set(divergence) == {"segment", "index", "kind", "round"}
+    assert divergence["segment"] == 0
+    # The divergent event is a real position in both traces: re-query it.
+    trace_a = store.get_trace(record_a.run_key)
+    event = list(trace_a)[divergence["index"]]
+    assert event.kind.value == divergence["kind"][0]
+    assert event.round_index == divergence["round"][0]
+
+
+def test_diff_trace_section_one_sided_trace(store):
+    traced = record_from_outcome(
+        run_scenario(small_spec(seed=1, trace=True)), code_version="test"
+    )
+    untraced = record_from_outcome(
+        run_scenario(small_spec(seed=1)), code_version="other"
+    )
+    store.put_run(traced)
+    store.put_run(untraced)
+    section = store.diff(traced.run_key, untraced.run_key)["trace"]
+    assert section["events"][1] == 0 and section["events"][0] > 0
+    assert section["first_divergence"] == {
+        "segment": 0,
+        "index": 0,
+        "kind": [EventKind.ROUND_START.value, None],
+        "round": [1, None],
+    }
+    # And the mirrored direction:
+    flipped = store.diff(untraced.run_key, traced.run_key)["trace"]
+    assert flipped["events"] == section["events"][::-1]
+    assert flipped["first_divergence"]["kind"] == [
+        None,
+        EventKind.ROUND_START.value,
+    ]
 
 
 def test_experiment_report_carries_schema_and_sweep_digest(store, tmp_path):

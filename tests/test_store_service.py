@@ -143,6 +143,166 @@ def test_failed_sweep_reports_error(server):
     assert job["error"]
 
 
+TRACED_SWEEP = {
+    "sweep": {
+        "protocol": "consensus",
+        "grid": {"n": [4]},
+        "max_rounds": 30,
+        "trace": True,
+    }
+}
+
+
+def run_traced_sweep(server) -> str:
+    launch = post_json(server, "/sweeps", TRACED_SWEEP)
+    events = read_stream(server, launch["stream"])
+    assert events[-1]["event"] == "sweep-complete"
+    runs = get_json(server, "/runs?protocol=consensus")
+    assert len(runs) == 1
+    return runs[0]["run_key"]
+
+
+def test_trace_stream_endpoint(server):
+    key = run_traced_sweep(server)
+    events = read_stream(server, f"/runs/{key}/trace")
+    start, complete = events[0], events[-1]
+    assert start["event"] == "trace-start"
+    assert start["run_key"] == key
+    assert start["segments"] >= 1 and start["events"] > 0
+    batches = [e for e in events if e["event"] == "segment"]
+    streamed = [ev for b in batches for ev in b["events"]]
+    assert len(streamed) == start["events"]
+    assert complete == {"event": "trace-complete", "streamed": len(streamed)}
+    assert {"kind", "round", "node", "peer", "payload", "detail"} <= set(
+        streamed[0]
+    )
+    # Replays are identical for late subscribers.
+    assert read_stream(server, f"/runs/{key}/trace") == events
+
+
+def test_trace_stream_filters(server):
+    key = run_traced_sweep(server)
+    unfiltered = read_stream(server, f"/runs/{key}/trace")
+    all_events = [
+        ev
+        for e in unfiltered
+        if e["event"] == "segment"
+        for ev in e["events"]
+    ]
+    by_kind = read_stream(server, f"/runs/{key}/trace?kind=message_delivered")
+    delivered = [
+        ev for e in by_kind if e["event"] == "segment" for ev in e["events"]
+    ]
+    assert delivered == [
+        ev for ev in all_events if ev["kind"] == "message_delivered"
+    ]
+    assert by_kind[-1]["streamed"] == len(delivered)
+    by_round = read_stream(server, f"/runs/{key}/trace?round=1")
+    in_round = [
+        ev for e in by_round if e["event"] == "segment" for ev in e["events"]
+    ]
+    assert in_round == [ev for ev in all_events if ev["round"] == 1]
+    combined = read_stream(
+        server, f"/runs/{key}/trace?kind=message_sent&round=1"
+    )
+    both = [
+        ev for e in combined if e["event"] == "segment" for ev in e["events"]
+    ]
+    assert both == [
+        ev
+        for ev in all_events
+        if ev["kind"] == "message_sent" and ev["round"] == 1
+    ]
+
+
+def test_trace_stream_bad_requests(server):
+    key = run_traced_sweep(server)
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        read_stream(server, f"/runs/{key}/trace?kind=bogus")
+    assert excinfo.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        read_stream(server, f"/runs/{key}/trace?round=soon")
+    assert excinfo.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        read_stream(server, "/runs/feedfacefeedface/trace")
+    assert excinfo.value.code == 404
+
+
+def test_trace_stream_of_untraced_run_is_empty(server):
+    launch = post_json(server, "/sweeps", SWEEP_REQUEST)
+    read_stream(server, launch["stream"])
+    key = get_json(server, "/runs?protocol=consensus")[0]["run_key"]
+    events = read_stream(server, f"/runs/{key}/trace")
+    assert events[0]["segments"] == 0 and events[0]["events"] == 0
+    assert events[-1] == {"event": "trace-complete", "streamed": 0}
+
+
+def test_client_disconnect_mid_replay_does_not_poison_server(
+    server, monkeypatch
+):
+    """Killing a streaming client must not surface as a handler error.
+
+    The stdlib server calls ``handle_error`` (stack trace to stderr) for
+    any exception a handler lets escape.  A client that vanishes mid-write
+    is routine, not an error: the handler catches the broken pipe and the
+    worker thread exits cleanly, so later requests are unaffected.
+    """
+
+    import socket
+    import socketserver
+    import struct
+    import time
+    import urllib.parse
+
+    # A trace big enough that the server cannot fit the whole reply into
+    # kernel send buffers: the stream must still be in flight when the
+    # client dies.
+    launch = post_json(
+        server,
+        "/sweeps",
+        {
+            "sweep": {
+                "protocol": "rotor-coordinator",
+                "grid": {"n": [20]},
+                "trace": True,
+            }
+        },
+    )
+    events = read_stream(server, launch["stream"])
+    assert events[-1]["event"] == "sweep-complete"
+    key = get_json(server, "/runs?protocol=rotor-coordinator")[0]["run_key"]
+
+    srv_errors = []
+    original = socketserver.BaseServer.handle_error
+
+    def recording(self, request, client_address):
+        srv_errors.append(client_address)
+        original(self, request, client_address)
+
+    monkeypatch.setattr(socketserver.BaseServer, "handle_error", recording)
+    parsed = urllib.parse.urlsplit(server)
+    raw = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    # Shrink the receive window (before connecting, so it sticks) so the
+    # server blocks mid-stream instead of buffering the whole reply.
+    raw.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+    raw.settimeout(10)
+    raw.connect((parsed.hostname, parsed.port))
+    raw.sendall(f"GET /runs/{key}/trace HTTP/1.0\r\n\r\n".encode("ascii"))
+    assert raw.recv(256)  # the stream is live
+    # Hard-close (RST) while the server is still writing.
+    raw.setsockopt(
+        socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+    )
+    raw.close()
+
+    # The server stays healthy and the disconnect never reaches
+    # handle_error; give the dying worker thread a moment to finish.
+    for _ in range(5):
+        assert get_json(server, "/health")["status"] == "ok"
+        time.sleep(0.05)
+    assert srv_errors == []
+
+
 def test_serve_cli_parser_defaults():
     args = build_parser().parse_args(["--store", "x.db", "--port", "0"])
     assert (args.store, args.host, args.port) == ("x.db", "127.0.0.1", 0)
