@@ -14,6 +14,7 @@ from .protocol_attacks import (
 )
 from .registry import STRATEGY_FACTORIES, available_strategies, make_strategy
 from .strategies import (
+    CoordinatedEquivocationStrategy,
     CrashStrategy,
     DelayedStrategy,
     EquivocateValueStrategy,
@@ -28,6 +29,7 @@ __all__ = [
     "AdversaryStrategy",
     "ByzantineProcess",
     "CandidateStufferStrategy",
+    "CoordinatedEquivocationStrategy",
     "CrashStrategy",
     "DelayedStrategy",
     "EquivocateValueStrategy",

@@ -23,6 +23,7 @@ from .protocol_attacks import (
     UsurperCoordinatorStrategy,
 )
 from .strategies import (
+    CoordinatedEquivocationStrategy,
     CrashStrategy,
     EquivocateValueStrategy,
     RandomNoiseStrategy,
@@ -39,6 +40,7 @@ STRATEGY_FACTORIES: dict[str, Callable[[], AdversaryStrategy]] = {
     "random-noise": RandomNoiseStrategy,
     "replay": ReplayStrategy,
     "equivocate-value": EquivocateValueStrategy,
+    "coordinated-equivocation": CoordinatedEquivocationStrategy,
     "rb-equivocating-sender": EquivocatingSenderStrategy,
     "rb-false-echo": FalseEchoStrategy,
     "rb-forged-source": ForgedSourceEchoStrategy,

@@ -25,6 +25,7 @@ __all__ = [
     "EquivocateValueStrategy",
     "MimicStrategy",
     "DelayedStrategy",
+    "CoordinatedEquivocationStrategy",
 ]
 
 
@@ -147,6 +148,49 @@ class MimicStrategy(AdversaryStrategy):
         if self._inner.halted:
             return ()
         return list(self._inner.step(RoundView(ctx.round_index, ctx.view.inbox)))
+
+
+@dataclass
+class CoordinatedEquivocationStrategy(AdversaryStrategy):
+    """Phased, coordinated, multi-round equivocation.
+
+    For the first ``quiet_rounds`` rounds after activation the node looks
+    honest — it broadcasts ``filler`` so every correct node counts it into
+    its membership estimate ``nv`` (raising the relative thresholds the
+    later lies have to clear).  From then on it splits the membership into
+    two deterministic halves (sorted ids, :func:`send_split`) and sends
+    ``payload_a`` to one half and ``payload_b`` to the other, swapping the
+    halves on every odd round so each victim accumulates *both* conflicting
+    values over time.
+
+    The coordination is free: every Byzantine node running this strategy
+    derives the same halves from the same sorted target list and the same
+    global round parity, so ``f`` attackers push the same lie at the same
+    victims simultaneously — the strongest form of the conflicting-
+    information behaviour the paper's model allows, without any covert
+    channel.  Activation state lives in ``ctx.memory`` so the phase
+    counter survives across rounds and composes with late joins (a joiner
+    starts its own quiet phase at its first active round).
+    """
+
+    quiet_rounds: int = 2
+    payload_a: Payload = ("value", 0)
+    payload_b: Payload = ("value", 1)
+    flip_each_round: bool = True
+    filler: Payload = "present"
+    name = "coordinated-equivocation"
+
+    def act(self, ctx: AdversaryContext) -> Sequence[Outgoing]:
+        memory = ctx.memory.setdefault("coordinated-equivocation", {})
+        start = memory.setdefault("first_round", ctx.round_index)
+        if ctx.round_index - start < self.quiet_rounds:
+            return [Broadcast(self.filler)]
+        payload_a, payload_b = self.payload_a, self.payload_b
+        # Parity of the *global* round, not the local phase: nodes that
+        # activated in different rounds still flip in lock-step.
+        if self.flip_each_round and ctx.round_index % 2 == 1:
+            payload_a, payload_b = payload_b, payload_a
+        return send_split(ctx.targets(), payload_a, payload_b)
 
 
 @dataclass

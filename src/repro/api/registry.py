@@ -33,11 +33,13 @@ from ..core.consensus import ConsensusProcess
 from ..core.parallel_consensus import ParallelConsensusProcess
 from ..core.reliable_broadcast import ReliableBroadcastProcess
 from ..core.rotor_coordinator import RotorCoordinatorProcess
-from ..dynamic.churn import generate_churn_schedule
+from ..dynamic.churn import generate_churn_schedule, generate_flash_crowd_schedule
 from ..dynamic.membership import build_total_order_system
 from ..sim.delays import (
     BoundedUnknownDelay,
     DelayModel,
+    HeavyTailDelay,
+    JitteredSynchronousDelay,
     PartitionDelay,
     UniformRandomDelay,
     split_into_groups,
@@ -323,14 +325,35 @@ def _resolve_delay(spec: ScenarioSpec, ids: Sequence[NodeId]) -> DelayModel | No
         return None
     if spec.delay == "uniform-random":
         return UniformRandomDelay(max_delay=int(options.get("max_delay", 3)))
+    if spec.delay == "heavy-tail":
+        return HeavyTailDelay(
+            alpha=float(options.get("alpha", 1.5)),
+            scale=float(options.get("scale", 0.5)),
+            max_delay=int(options.get("max_delay", 20)),
+        )
+    if spec.delay == "jittered":
+        return JitteredSynchronousDelay(
+            jitter_probability=float(options.get("jitter_probability", 0.1)),
+            max_extra=int(options.get("max_extra", 2)),
+        )
     sizes = [int(s) for s in options.get("sizes", ())]
     if not sizes:
         raise ValueError(f"delay model {spec.delay!r} needs delay_params['sizes']")
+    # ``ids`` includes any churn-pool extras, so the trailing remainder
+    # group of split_into_groups covers every potential joiner; the
+    # ungrouped policy below only matters for ids the spec never minted.
     groups = split_into_groups(ids, sizes)
+    ungrouped = str(options.get("ungrouped", "isolated"))
     if spec.delay == "partition":
         heal = options.get("heal_round")
-        return PartitionDelay(groups=groups, heal_round=None if heal is None else int(heal))
-    return BoundedUnknownDelay(groups=groups, delta=int(options.get("delta", 40)))
+        return PartitionDelay(
+            groups=groups,
+            heal_round=None if heal is None else int(heal),
+            ungrouped=ungrouped,
+        )
+    return BoundedUnknownDelay(
+        groups=groups, delta=int(options.get("delta", 40)), ungrouped=ungrouped
+    )
 
 
 def _assemble(
@@ -549,16 +572,36 @@ def _build_parallel_consensus(spec: ScenarioSpec, strategy: object) -> SystemSpe
 def _build_total_order(spec: ScenarioSpec, strategy: object) -> SystemSpec:
     churn = dict(spec.churn or {})
     rounds = int(churn.get("rounds", spec.max_rounds or 45))
-    schedule = generate_churn_schedule(
-        initial_correct=spec.n - spec.f,
-        initial_byzantine=spec.f,
-        rounds=rounds,
-        join_rate=float(churn.get("join_rate", 0.0)),
-        leave_rate=float(churn.get("leave_rate", 0.0)),
-        byzantine_join_fraction=float(churn.get("byzantine_join_fraction", 0.0)),
-        seed=spec.seed,
-        min_round=int(churn.get("min_round", 3)),
-    )
+    pattern = str(churn.get("pattern", "random"))
+    if pattern == "random":
+        schedule = generate_churn_schedule(
+            initial_correct=spec.n - spec.f,
+            initial_byzantine=spec.f,
+            rounds=rounds,
+            join_rate=float(churn.get("join_rate", 0.0)),
+            leave_rate=float(churn.get("leave_rate", 0.0)),
+            byzantine_join_fraction=float(churn.get("byzantine_join_fraction", 0.0)),
+            seed=spec.seed,
+            min_round=int(churn.get("min_round", 3)),
+            leave_candidates=str(churn.get("leave_candidates", "live")),
+        )
+    elif pattern == "flash-crowd":
+        exodus_round = churn.get("exodus_round")
+        schedule = generate_flash_crowd_schedule(
+            initial_correct=spec.n - spec.f,
+            initial_byzantine=spec.f,
+            rounds=rounds,
+            burst_round=int(churn.get("burst_round", 5)),
+            burst_size=int(churn.get("burst_size", 5)),
+            burst_byzantine_fraction=float(churn.get("burst_byzantine_fraction", 0.0)),
+            exodus_round=None if exodus_round is None else int(exodus_round),
+            exodus_fraction=float(churn.get("exodus_fraction", 0.5)),
+            seed=spec.seed,
+        )
+    else:
+        raise ValueError(
+            f"unknown churn pattern {pattern!r}; choose 'random' or 'flash-crowd'"
+        )
     dynamic = build_total_order_system(
         schedule,
         event_period=int(spec.params.get("event_period", 1)),

@@ -44,7 +44,14 @@ INPUT_KINDS = (
 )
 
 #: Recognised message-delay models (see :mod:`repro.sim.delays`).
-DELAY_KINDS = ("synchronous", "uniform-random", "partition", "bounded-unknown")
+DELAY_KINDS = (
+    "synchronous",
+    "uniform-random",
+    "heavy-tail",
+    "jittered",
+    "partition",
+    "bounded-unknown",
+)
 
 #: Recognised stop conditions.  ``default`` defers to the protocol.
 STOP_KINDS = ("default", "decided", "halted", "never")

@@ -19,11 +19,24 @@ persists every scenario into a :class:`repro.store.RunStore` and resumes
 from it: re-running the same experiments against the same store skips
 everything already computed (under the current code version) and still
 produces bit-identical reports.
+
+``--search`` switches the runner into property-guided scenario search
+(:mod:`repro.search`) instead of running experiments::
+
+    python -m repro.harness.runner --search --search-budget 150 \\
+        --store runs.sqlite --search-out counterexamples.json
+
+The search mutates a base spec (``--search-spec PATH`` to supply one as
+JSON; the default hunts consensus-agreement breaks under
+``UniformRandomDelay`` at n=4) and reports confirmed counterexamples;
+with ``--store`` every finding is persisted per engine and replayable by
+run key.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Sequence, TextIO
@@ -33,6 +46,7 @@ from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
 
 __all__ = [
     "run_many",
+    "run_search",
     "write_markdown_report",
     "write_json_report",
     "main",
@@ -110,6 +124,82 @@ def write_json_report(
         handle.write(payload + "\n")
 
 
+#: The default search base: the E6 regime where consensus is known to
+#: lose agreement under unpredictable delays — n=4, one crashing
+#: Byzantine node, uniform-random delivery up to 6 rounds.
+_DEFAULT_SEARCH_BASE = {
+    "protocol": "consensus",
+    "n": 4,
+    "f": 1,
+    "adversary": "crash",
+    "delay": "uniform-random",
+    "delay_params": {"max_delay": 6},
+    "max_rounds": 30,
+}
+
+
+def run_search(
+    *,
+    budget: int = 150,
+    seed: int = 0,
+    base_spec: dict | None = None,
+    escalate_n: Sequence[int] = (8,),
+    mutation_ops: Sequence[str] | None = None,
+    store: RunStore | None = None,
+    out_path: str | None = None,
+    stream: TextIO | None = None,
+):
+    """Run one property-guided scenario search and report the findings.
+
+    Returns the :class:`repro.search.SearchResult`; when ``out_path`` is
+    given the result (specs, violations, run keys, escalations) is also
+    written there as JSON so CI can archive counterexamples as artifacts.
+    """
+
+    from ..api.spec import ScenarioSpec
+    from ..search import ScenarioSearch
+
+    stream = stream or sys.stdout
+    spec = ScenarioSpec.from_dict(dict(base_spec or _DEFAULT_SEARCH_BASE))
+    search = ScenarioSearch(
+        spec,
+        seed=seed,
+        store=store,
+        escalate_n=tuple(escalate_n),
+        mutation_ops=None if mutation_ops is None else tuple(mutation_ops),
+    )
+    start = time.perf_counter()
+    result = search.run(budget)
+    elapsed = time.perf_counter() - start
+    print(
+        f"search: {result.evaluations} scenarios evaluated in {elapsed:.1f}s, "
+        f"{len(result.findings)} confirmed finding(s), "
+        f"{result.rejected} rejected at engine confirmation",
+        file=stream,
+    )
+    for finding in result.findings:
+        names = ", ".join(sorted({v.property_name for v in finding.violations}))
+        keys = ", ".join(
+            f"{engine}={key[:12]}" for engine, key in sorted(finding.run_keys.items())
+        )
+        print(
+            f"  - {names} @ {finding.spec.protocol} n={finding.spec.n} "
+            f"f={finding.spec.f} delay={finding.spec.delay} "
+            f"adversary={finding.spec.adversary} seed={finding.spec.seed}"
+            + (f" [{keys}]" if keys else ""),
+            file=stream,
+        )
+    if out_path:
+        payload = canonical_dumps(result.as_dict(), indent=2)
+        if out_path == "-":
+            print(payload, file=stream)
+        else:
+            with open(out_path, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"search results written to {out_path}", file=stream)
+    return result
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -147,11 +237,76 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="N",
         help="events per persisted trace segment (traced scenarios with --store)",
     )
+    parser.add_argument(
+        "--search",
+        action="store_true",
+        help="run property-guided scenario search instead of experiments",
+    )
+    parser.add_argument(
+        "--search-budget",
+        type=int,
+        default=150,
+        metavar="N",
+        help="candidate scenarios the search may evaluate",
+    )
+    parser.add_argument(
+        "--search-spec",
+        metavar="PATH",
+        help="JSON file holding the base ScenarioSpec to mutate "
+        "(default: consensus n=4 under uniform-random delay)",
+    )
+    parser.add_argument(
+        "--search-out",
+        metavar="PATH",
+        help="write the search result (findings + run keys) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--search-escalate",
+        default="8",
+        metavar="N,N",
+        help="comma-separated larger n values findings are confirmed at",
+    )
+    parser.add_argument(
+        "--search-ops",
+        metavar="OP,OP",
+        help="restrict the mutation vocabulary (e.g. omit 'delay' to pin "
+        "the base delay family); default: all ops",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
     if args.segment_events < 1:
         parser.error("--segment-events must be at least 1")
+    if args.search:
+        if args.search_budget < 1:
+            parser.error("--search-budget must be at least 1")
+        base_spec = None
+        if args.search_spec:
+            with open(args.search_spec, "r", encoding="utf-8") as handle:
+                base_spec = json.load(handle)
+        escalate = tuple(
+            int(n) for n in args.search_escalate.split(",") if n.strip()
+        )
+        ops = (
+            tuple(op.strip() for op in args.search_ops.split(",") if op.strip())
+            if args.search_ops
+            else None
+        )
+        store = RunStore(args.store) if args.store else None
+        try:
+            run_search(
+                budget=args.search_budget,
+                seed=args.seed if args.seed is not None else 0,
+                base_spec=base_spec,
+                escalate_n=escalate,
+                mutation_ops=ops,
+                store=store,
+                out_path=args.search_out,
+            )
+        finally:
+            if store is not None:
+                store.close()
+        return 0
     store = RunStore(args.store) if args.store else None
     try:
         results = run_many(

@@ -1,0 +1,328 @@
+"""The search loop: evaluate, mutate, confirm, persist.
+
+See the package docstring (:mod:`repro.search`) for the full pipeline
+contract.  In short: candidates are cheap small-``n`` runs; violations
+only become :class:`Finding`\\ s after they reproduce bit-identically on
+every applicable engine; confirmed findings are re-run at larger sizes
+and persisted to the run store once per engine, replayable via
+:func:`replay_run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..api.spec import ScenarioSpec
+from ..api.sweep import ScenarioOutcome, run_scenario
+from ..sim.rng import derive, make_rng
+from .mutate import SpecMutator
+from .score import PropertyViolation, evaluate_outcome, score_outcome
+
+__all__ = [
+    "FINDING_ROW_FN",
+    "applicable_engines",
+    "Finding",
+    "SearchResult",
+    "ScenarioSearch",
+    "replay_run",
+]
+
+#: ``row_fn`` label findings are stored under in the run store's ``rows``
+#: table (one finding row per persisted engine run).
+FINDING_ROW_FN = "repro.search.finding"
+
+#: Frontier size for the mutation loop: the best-scored specs kept as
+#: mutation parents.
+_FRONTIER_SIZE = 4
+
+
+def applicable_engines(spec: ScenarioSpec) -> tuple[str, ...]:
+    """The engines a spec can run on.
+
+    The fast kernel is synchronous-only (``set_engine("fast")`` rejects
+    delayed models), so non-synchronous specs are confirmed on the
+    queue/legacy pair; synchronous specs on all three.
+    """
+
+    if spec.delay == "synchronous":
+        return ("fast", "queue", "legacy")
+    return ("queue", "legacy")
+
+
+def _outcome_signature(outcome: ScenarioOutcome) -> tuple:
+    """What must match bit-for-bit across engines (and across replays)."""
+
+    return (
+        tuple(sorted(outcome.outputs().items(), key=lambda kv: str(kv[0]))),
+        outcome.rounds,
+        outcome.result.stop_reason,
+    )
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One confirmed counterexample (or worst-case scenario)."""
+
+    spec: ScenarioSpec
+    violations: tuple[PropertyViolation, ...]
+    rounds: int
+    engines: tuple[str, ...]
+    #: engine -> content-addressed run key; empty when no store was given.
+    run_keys: Mapping[str, str]
+    #: One entry per escalation size: the larger spec's digest and whether
+    #: the violation reproduced there.
+    escalations: tuple[dict, ...] = ()
+
+    @property
+    def spec_digest(self) -> str:
+        return self.spec.digest()
+
+    def as_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "spec_digest": self.spec_digest,
+            "violations": [v.as_dict() for v in self.violations],
+            "rounds": self.rounds,
+            "engines": list(self.engines),
+            "run_keys": dict(self.run_keys),
+            "escalations": [dict(e) for e in self.escalations],
+        }
+
+
+@dataclass
+class SearchResult:
+    """What one :meth:`ScenarioSearch.run` produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    evaluations: int = 0
+    #: Candidates whose violations did not survive engine confirmation.
+    rejected: int = 0
+    best_score: float = float("-inf")
+    best_spec: ScenarioSpec | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "findings": [f.as_dict() for f in self.findings],
+            "evaluations": self.evaluations,
+            "rejected": self.rejected,
+            "best_score": self.best_score,
+            "best_spec": None if self.best_spec is None else self.best_spec.to_dict(),
+        }
+
+
+class ScenarioSearch:
+    """Property-guided mutation search over scenario specs.
+
+    Parameters
+    ----------
+    base_spec:
+        The starting point; mutations stay within the base protocol.
+    seed:
+        Drives every stochastic choice of the search (parent selection and
+        mutation).  ``(base_spec, seed, budget)`` fully determines the run.
+    store:
+        Optional :class:`repro.store.RunStore`; confirmed findings are
+        persisted to it once per applicable engine (see package docstring).
+    objective:
+        ``"violations"`` (default) or ``"rounds"`` — see
+        :func:`repro.search.score.score_outcome`.
+    escalate_n:
+        Larger system sizes confirmed findings are re-run at.
+    max_n:
+        Upper bound the size mutation respects.
+    mutation_ops:
+        Optional restriction of the mutation vocabulary (see
+        :data:`repro.search.mutate.MUTATION_OPS`); dropping ``"delay"``
+        pins the search inside the base spec's delay family.
+    """
+
+    def __init__(
+        self,
+        base_spec: ScenarioSpec,
+        *,
+        seed: int = 0,
+        store: Any | None = None,
+        objective: str = "violations",
+        escalate_n: tuple[int, ...] = (),
+        max_n: int = 12,
+        mutation_ops: tuple[str, ...] | None = None,
+        code_version: str | None = None,
+    ) -> None:
+        self.base_spec = base_spec
+        self.store = store
+        self.objective = objective
+        self.escalate_n = tuple(sorted(set(int(n) for n in escalate_n)))
+        self._rng = make_rng(derive(seed, "scenario-search"))
+        self.mutator = SpecMutator(self._rng, max_n=max_n, ops=mutation_ops)
+        self._code_version = code_version
+        self._seen: set[str] = set()
+        self._reported: set[str] = set()
+
+    # -- internals ----------------------------------------------------------
+
+    def _resolve_code_version(self) -> str:
+        if self._code_version is None:
+            from ..store import code_fingerprint
+
+            self._code_version = code_fingerprint()
+        return self._code_version
+
+    def _pick_parent(self, frontier: list[tuple[float, ScenarioSpec]]) -> ScenarioSpec:
+        if not frontier or self._rng.random() < 0.3:
+            return self.base_spec
+        if self._rng.random() < 0.5:
+            return frontier[0][1]
+        return frontier[int(self._rng.integers(0, len(frontier)))][1]
+
+    def _evaluate(
+        self, spec: ScenarioSpec
+    ) -> tuple[ScenarioOutcome, list[PropertyViolation], float]:
+        outcome = run_scenario(spec)
+        violations = evaluate_outcome(outcome)
+        score = score_outcome(outcome, violations, objective=self.objective)
+        return outcome, violations, score
+
+    def _escalated_spec(self, spec: ScenarioSpec, n: int) -> ScenarioSpec:
+        changes: dict = {"n": n, "f": min(spec.f, (n - 1) // 3)}
+        if spec.inputs in ("split", "listed", "explicit"):
+            changes["inputs"] = "default"
+            changes["input_params"] = {}
+        if spec.delay in ("partition", "bounded-unknown"):
+            params = dict(spec.delay_params)
+            params["sizes"] = [max(1, n // 2)]
+            changes["delay_params"] = params
+        return spec.replace(**changes)
+
+    def _confirm(
+        self, spec: ScenarioSpec, violations: list[PropertyViolation]
+    ) -> Finding | None:
+        """Stage 2+3: engine confirmation, escalation, persistence."""
+
+        engines = applicable_engines(spec)
+        confirmed: list[tuple[str, ScenarioOutcome]] = []
+        signature = None
+        names = sorted(v.property_name for v in violations)
+        for engine in engines:
+            outcome = run_scenario(spec, engine=engine)
+            engine_violations = evaluate_outcome(outcome)
+            if sorted(v.property_name for v in engine_violations) != names:
+                return None  # did not reproduce on this engine
+            this_signature = _outcome_signature(outcome)
+            if signature is None:
+                signature = this_signature
+            elif this_signature != signature:
+                return None  # engines diverged — not a trustworthy finding
+            confirmed.append((engine, outcome))
+
+        escalations = []
+        for n in self.escalate_n:
+            if n <= spec.n:
+                continue
+            larger = self._escalated_spec(spec, n)
+            outcome, larger_violations, _ = self._evaluate(larger)
+            escalations.append(
+                {
+                    "n": n,
+                    "spec_digest": larger.digest(),
+                    "reproduced": bool(larger_violations),
+                    "violations": sorted(
+                        v.property_name for v in larger_violations
+                    ),
+                }
+            )
+
+        run_keys: dict[str, str] = {}
+        if self.store is not None:
+            from ..store import record_from_outcome
+
+            version = self._resolve_code_version()
+            for engine, outcome in confirmed:
+                record = record_from_outcome(
+                    outcome, engine=engine, code_version=version
+                )
+                row = {
+                    "spec_digest": spec.digest(),
+                    "engine": engine,
+                    "violations": [v.as_dict() for v in violations],
+                    "rounds": outcome.rounds,
+                    "escalations": escalations,
+                }
+                self.store.put_run(record, row=row, row_fn=FINDING_ROW_FN)
+                run_keys[engine] = record.run_key
+
+        return Finding(
+            spec=spec,
+            violations=tuple(violations),
+            rounds=confirmed[0][1].rounds,
+            engines=engines,
+            run_keys=run_keys,
+            escalations=tuple(escalations),
+        )
+
+    # -- the loop -----------------------------------------------------------
+
+    def run(self, budget: int) -> SearchResult:
+        """Evaluate up to ``budget`` candidate scenarios (confirmation and
+        escalation runs are extra, bounded by the number of findings)."""
+
+        if budget < 1:
+            raise ValueError("budget must be at least 1")
+        result = SearchResult()
+        frontier: list[tuple[float, ScenarioSpec]] = []
+
+        def consider(spec: ScenarioSpec) -> None:
+            digest = spec.digest()
+            if digest in self._seen:
+                return
+            self._seen.add(digest)
+            outcome, violations, score = self._evaluate(spec)
+            result.evaluations += 1
+            if score > result.best_score:
+                result.best_score, result.best_spec = score, spec
+            frontier.append((score, spec))
+            frontier.sort(key=lambda item: -item[0])
+            del frontier[_FRONTIER_SIZE:]
+            if violations and digest not in self._reported:
+                finding = self._confirm(spec, violations)
+                if finding is None:
+                    result.rejected += 1
+                else:
+                    self._reported.add(digest)
+                    result.findings.append(finding)
+
+        consider(self.base_spec)
+        while result.evaluations < budget:
+            parent = self._pick_parent(frontier)
+            candidate = parent
+            for _ in range(int(self._rng.integers(1, 3))):
+                candidate = self.mutator.mutate(candidate)
+            before = result.evaluations
+            consider(candidate)
+            if result.evaluations == before:
+                # Duplicate spec: burn one unit of budget anyway so a
+                # saturated space still terminates.
+                result.evaluations += 1
+        return result
+
+
+def replay_run(store: Any, run_key: str) -> bool:
+    """Re-execute a stored run from its persisted spec; ``True`` when the
+    fresh execution is bit-identical to what the store holds.
+
+    This is the replay half of the persistence contract: a counterexample
+    is only as good as its reproduction, so the check compares the correct
+    nodes' outputs, the executed round count and the stop reason against
+    the stored record.
+    """
+
+    stored = store.get_run(run_key)
+    if stored is None:
+        raise KeyError(f"run key {run_key!r} not present in the store")
+    engine = None if stored.engine == "auto" else stored.engine
+    outcome = run_scenario(stored.spec, engine=engine)
+    if stored.rounds_executed != outcome.rounds:
+        return False
+    if stored.stop_reason != outcome.result.stop_reason:
+        return False
+    return stored.outputs() == outcome.outputs()

@@ -11,6 +11,8 @@ from .delays import (
     BoundedUnknownDelay,
     DelayModel,
     FixedScheduleDelay,
+    HeavyTailDelay,
+    JitteredSynchronousDelay,
     PartitionDelay,
     SynchronousDelay,
     UniformRandomDelay,
@@ -50,8 +52,10 @@ __all__ = [
     "EventKind",
     "FixedScheduleDelay",
     "HaltedProcessError",
+    "HeavyTailDelay",
     "Inbox",
     "InvalidOutgoingError",
+    "JitteredSynchronousDelay",
     "KnownSenders",
     "MembershipError",
     "NodeId",

@@ -26,10 +26,32 @@ __all__ = [
     "DelayModel",
     "SynchronousDelay",
     "UniformRandomDelay",
+    "HeavyTailDelay",
+    "JitteredSynchronousDelay",
     "BoundedUnknownDelay",
     "PartitionDelay",
     "FixedScheduleDelay",
+    "UNGROUPED_POLICIES",
 ]
+
+#: How the group-based models treat nodes absent from ``groups``.
+#:
+#: ``"isolated"``
+#:     An ungrouped node shares a group with nobody but itself: every
+#:     message between an ungrouped node and any *other* node is treated
+#:     as cross-group.  This is the default, and the safe semantics for
+#:     churn — a joiner whose id was minted after the partition was
+#:     constructed stays on its own side of the partition instead of
+#:     tunnelling through it.
+#: ``"default_group"``
+#:     All ungrouped nodes share one implicit extra group (index
+#:     ``len(groups)``).  This is the historical behaviour — every node
+#:     absent from ``groups`` used to map to the sentinel ``-1`` and
+#:     therefore compare equal to every other absent node, which let
+#:     churn joiners bypass the Lemma 14/15 constructions entirely.  It
+#:     is kept as an explicit opt-in so executions that relied on it can
+#:     still be expressed (and searched over), but it is never implied.
+UNGROUPED_POLICIES = ("isolated", "default_group")
 
 
 def _index_groups(
@@ -108,7 +130,119 @@ class UniformRandomDelay(DelayModel):
 
 
 @dataclass
-class BoundedUnknownDelay(DelayModel):
+class HeavyTailDelay(DelayModel):
+    """Heavy-tailed (discretised Pareto) per-message delays.
+
+    Most messages arrive in the next round, but the tail is long: the
+    extra delay beyond one round is drawn from a Pareto distribution with
+    shape ``alpha`` (smaller ``alpha`` → heavier tail) and scale
+    ``scale``, truncated at ``max_delay`` total rounds so bounded
+    experiments always observe every delivery eventually.  This models
+    the bursty, congested networks real deployments see — occasional
+    stragglers arriving many rounds late — which is exactly the regime
+    where protocols that implicitly lean on the synchronous round
+    structure start to misbehave.
+    """
+
+    alpha: float = 1.5
+    scale: float = 0.5
+    max_delay: int = 20
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.max_delay < 1:
+            raise ValueError("max_delay must be at least 1")
+
+    def delivery_round(
+        self,
+        sender: NodeId,
+        dest: NodeId,
+        sent_round: int,
+        rng: np.random.Generator,
+    ) -> int:
+        extra = int(self.scale * rng.pareto(self.alpha))
+        return sent_round + 1 + min(extra, self.max_delay - 1)
+
+
+@dataclass
+class JitteredSynchronousDelay(DelayModel):
+    """Mostly synchronous delivery with occasional jitter.
+
+    Each message independently arrives in the next round with probability
+    ``1 - jitter_probability``; with probability ``jitter_probability`` it
+    slips by a uniform 1..``max_extra`` additional rounds.  A small
+    ``jitter_probability`` is the gentlest perturbation of the paper's
+    model — a search harness can anneal it upward to find the point where
+    a protocol's synchrony assumption actually starts to matter.
+    """
+
+    jitter_probability: float = 0.1
+    max_extra: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.jitter_probability <= 1.0:
+            raise ValueError("jitter_probability must be within [0, 1]")
+        if self.max_extra < 1:
+            raise ValueError("max_extra must be at least 1")
+
+    def delivery_round(
+        self,
+        sender: NodeId,
+        dest: NodeId,
+        sent_round: int,
+        rng: np.random.Generator,
+    ) -> int:
+        # One uniform draw per message keeps the RNG consumption pattern
+        # identical across engines regardless of which branch is taken.
+        roll = float(rng.random())
+        if roll < self.jitter_probability:
+            return sent_round + 1 + int(rng.integers(1, self.max_extra + 1))
+        return sent_round + 1
+
+
+class _GroupedDelay(DelayModel):
+    """Shared group bookkeeping for the partition-style models.
+
+    Subclasses call :meth:`_same_group`; nodes absent from ``groups`` are
+    resolved according to the ``ungrouped`` policy (see
+    :data:`UNGROUPED_POLICIES`).  The historical behaviour — every
+    ungrouped node silently mapping to one shared ``-1`` sentinel, so two
+    churn joiners always looked synchronous to each other — is only
+    available as the explicit ``"default_group"`` opt-in.
+    """
+
+    groups: tuple[frozenset[NodeId], ...]
+    ungrouped: str
+
+    def _init_groups(self) -> None:
+        if self.ungrouped not in UNGROUPED_POLICIES:
+            raise ValueError(
+                f"unknown ungrouped policy {self.ungrouped!r}; "
+                f"choose from {', '.join(UNGROUPED_POLICIES)}"
+            )
+        self.groups = tuple(frozenset(g) for g in self.groups)
+        self._group_index = _index_groups(self.groups)
+
+    def _same_group(self, sender: NodeId, dest: NodeId) -> bool:
+        index = self._group_index
+        sender_group = index.get(sender)
+        dest_group = index.get(dest)
+        if sender_group is None or dest_group is None:
+            if self.ungrouped == "default_group":
+                shared = len(self.groups)
+                sender_group = shared if sender_group is None else sender_group
+                dest_group = shared if dest_group is None else dest_group
+                return sender_group == dest_group
+            # "isolated": an ungrouped node is its own singleton group.
+            return sender == dest
+        return sender_group == dest_group
+
+
+@dataclass
+class BoundedUnknownDelay(_GroupedDelay):
     """Semi-synchronous model of Lemma 15: a fixed bound Δ exists but the
     nodes do not know it.
 
@@ -120,15 +254,12 @@ class BoundedUnknownDelay(DelayModel):
 
     groups: tuple[frozenset[NodeId], ...]
     delta: int = 50
+    ungrouped: str = "isolated"
 
     def __post_init__(self) -> None:
         if self.delta < 1:
             raise ValueError("delta must be at least 1")
-        self.groups = tuple(frozenset(g) for g in self.groups)
-        self._group_index = _index_groups(self.groups)
-
-    def _group_of(self, node: NodeId) -> int:
-        return self._group_index.get(node, -1)
+        self._init_groups()
 
     def delivery_round(
         self,
@@ -137,13 +268,13 @@ class BoundedUnknownDelay(DelayModel):
         sent_round: int,
         rng: np.random.Generator,
     ) -> int:
-        if self._group_of(sender) == self._group_of(dest):
+        if self._same_group(sender, dest):
             return sent_round + 1
         return sent_round + self.delta
 
 
 @dataclass
-class PartitionDelay(DelayModel):
+class PartitionDelay(_GroupedDelay):
     """Asynchronous model of Lemma 14: cross-partition messages are delayed
     arbitrarily (here: until ``heal_round``, possibly never).
 
@@ -155,13 +286,10 @@ class PartitionDelay(DelayModel):
 
     groups: tuple[frozenset[NodeId], ...]
     heal_round: int | None = None
+    ungrouped: str = "isolated"
 
     def __post_init__(self) -> None:
-        self.groups = tuple(frozenset(g) for g in self.groups)
-        self._group_index = _index_groups(self.groups)
-
-    def _group_of(self, node: NodeId) -> int:
-        return self._group_index.get(node, -1)
+        self._init_groups()
 
     def delivery_round(
         self,
@@ -170,12 +298,14 @@ class PartitionDelay(DelayModel):
         sent_round: int,
         rng: np.random.Generator,
     ) -> int:
-        if self._group_of(sender) == self._group_of(dest):
+        if self._same_group(sender, dest):
             return sent_round + 1
         if self.heal_round is None:
             # "never": schedule far enough in the future that no bounded
             # experiment observes the delivery.
             return sent_round + 1_000_000
+        # A heal_round at or before the send still respects causality:
+        # delivery can never precede the round after the send.
         return max(sent_round + 1, self.heal_round)
 
 
@@ -207,10 +337,23 @@ def split_into_groups(ids: Iterable[NodeId], sizes: Iterable[int]) -> tuple[froz
     """Partition ``ids`` (in sorted order) into consecutive groups of ``sizes``.
 
     Convenience used by the impossibility experiments to build the ``A``/``B``
-    partitions of Lemmas 14 and 15.
+    partitions of Lemmas 14 and 15.  ``sizes`` must be positive and sum to
+    at most ``len(ids)``; anything else would silently produce empty or
+    truncated trailing groups, which defeats the constructions the groups
+    exist for, so it raises :class:`ValueError` instead.  Ids left over
+    after the last size form one trailing remainder group — that is how
+    membership-changing runs keep churn joiners covered by the partition.
     """
 
     ordered = sorted(ids)
+    sizes = [int(size) for size in sizes]
+    if any(size < 1 for size in sizes):
+        raise ValueError(f"group sizes must be positive, got {sizes}")
+    if sum(sizes) > len(ordered):
+        raise ValueError(
+            f"group sizes {sizes} sum to {sum(sizes)} but only "
+            f"{len(ordered)} ids were provided"
+        )
     groups: list[frozenset[NodeId]] = []
     start = 0
     for size in sizes:

@@ -1,0 +1,301 @@
+"""The property-guided scenario search: mutation validity (Hypothesis
+stateful), planted-violation discovery, store persistence + bit-identical
+replay, and the ``--search`` CLI entry point."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.api import ScenarioSpec
+from repro.api.registry import REGISTRY
+from repro.api.sweep import run_scenario
+from repro.harness.runner import main as runner_main
+from repro.search import (
+    FINDING_ROW_FN,
+    MUTATION_OPS,
+    ScenarioSearch,
+    SpecMutator,
+    applicable_engines,
+    evaluate_outcome,
+    replay_run,
+    score_outcome,
+)
+from repro.sim.rng import make_rng
+from repro.store import RunStore
+
+#: The planted E6-style regime: consensus at n=4 under uniform-random
+#: delay loses agreement for a healthy fraction of seeds.
+BASE = ScenarioSpec(
+    protocol="consensus",
+    n=4,
+    f=1,
+    adversary="crash",
+    seed=0,
+    delay="uniform-random",
+    delay_params={"max_delay": 6},
+    max_rounds=30,
+)
+
+#: Mutation vocabulary that keeps the search inside the uniform-random
+#: delay family (no "delay" op), mirroring the CI smoke job.
+PINNED_OPS = ("seed", "delay-params", "adversary", "inputs", "size")
+
+
+# ---------------------------------------------------------------------------
+# Mutation layer
+# ---------------------------------------------------------------------------
+
+
+class ConsensusMutationMachine(RuleBasedStateMachine):
+    """Every mutation op, in any order, must yield a valid, buildable,
+    JSON-round-trippable spec."""
+
+    def __init__(self):
+        super().__init__()
+        self.mutator = SpecMutator(make_rng(0), max_n=10)
+        self.spec = BASE
+
+    @rule(op=st.sampled_from(MUTATION_OPS))
+    def apply(self, op):
+        self.spec = self.mutator.mutate(self.spec, op)
+
+    @invariant()
+    def json_round_trips(self):
+        payload = json.loads(json.dumps(self.spec.to_dict()))
+        assert ScenarioSpec.from_dict(payload) == self.spec
+
+    @invariant()
+    def registry_accepts(self):
+        REGISTRY.build(self.spec)
+
+    @invariant()
+    def protocol_is_stable(self):
+        assert self.spec.protocol == "consensus"
+
+
+class TotalOrderMutationMachine(RuleBasedStateMachine):
+    """Same contract over the churn-capable protocol (exercises the churn
+    op, including flash-crowd schedules)."""
+
+    def __init__(self):
+        super().__init__()
+        self.mutator = SpecMutator(make_rng(1), max_n=8)
+        self.spec = ScenarioSpec(
+            protocol="total-order", n=6, f=1, seed=0,
+            churn={"rounds": 12, "join_rate": 0.2},
+        )
+
+    @rule(op=st.sampled_from(("seed", "churn", "adversary", "size")))
+    def apply(self, op):
+        self.spec = self.mutator.mutate(self.spec, op)
+
+    @invariant()
+    def json_round_trips(self):
+        payload = json.loads(json.dumps(self.spec.to_dict()))
+        assert ScenarioSpec.from_dict(payload) == self.spec
+
+    @invariant()
+    def registry_accepts(self):
+        REGISTRY.build(self.spec)
+
+
+TestConsensusMutations = ConsensusMutationMachine.TestCase
+TestConsensusMutations.settings = settings(
+    max_examples=15, stateful_step_count=8, deadline=None
+)
+TestTotalOrderMutations = TotalOrderMutationMachine.TestCase
+TestTotalOrderMutations.settings = settings(
+    max_examples=10, stateful_step_count=6, deadline=None
+)
+
+
+class TestMutatorDeterminism:
+    def test_same_seed_same_trajectory(self):
+        runs = []
+        for _ in range(2):
+            mutator = SpecMutator(make_rng(7))
+            spec = BASE
+            trail = []
+            for _ in range(20):
+                spec = mutator.mutate(spec)
+                trail.append(spec.digest())
+            runs.append(trail)
+        assert runs[0] == runs[1]
+
+    def test_restricted_ops_pin_the_delay_family(self):
+        mutator = SpecMutator(make_rng(3), ops=PINNED_OPS)
+        spec = BASE
+        for _ in range(30):
+            spec = mutator.mutate(spec)
+            assert spec.delay == "uniform-random"
+
+    def test_unknown_op_rejected(self):
+        mutator = SpecMutator(make_rng(0))
+        with pytest.raises(ValueError, match="unknown mutation op"):
+            mutator.mutate(BASE, op="teleport")
+        with pytest.raises(ValueError, match="unknown mutation ops"):
+            SpecMutator(make_rng(0), ops=("seed", "teleport"))
+
+
+# ---------------------------------------------------------------------------
+# Scoring
+# ---------------------------------------------------------------------------
+
+
+class TestScoring:
+    def test_clean_synchronous_run_has_no_violations(self):
+        spec = ScenarioSpec(protocol="consensus", n=7, f=2,
+                            adversary="consensus-split-vote", seed=0)
+        outcome = run_scenario(spec)
+        assert evaluate_outcome(outcome) == []
+
+    def test_uniform_random_consensus_violates_agreement(self):
+        # The planted break: BASE at seed 0 splits the decided values.
+        outcome = run_scenario(BASE)
+        names = {v.property_name for v in evaluate_outcome(outcome)}
+        assert "consensus-agreement" in names
+
+    def test_violations_dominate_the_score(self):
+        outcome = run_scenario(BASE)
+        assert score_outcome(outcome) > 1000
+        assert score_outcome(outcome, objective="rounds") == outcome.rounds
+        with pytest.raises(ValueError, match="objective"):
+            score_outcome(outcome, objective="speed")
+
+
+# ---------------------------------------------------------------------------
+# The search harness
+# ---------------------------------------------------------------------------
+
+
+class TestApplicableEngines:
+    def test_synchronous_gets_all_three(self):
+        spec = ScenarioSpec(protocol="consensus", n=4, f=1)
+        assert applicable_engines(spec) == ("fast", "queue", "legacy")
+
+    def test_delayed_gets_queue_and_legacy(self):
+        assert applicable_engines(BASE) == ("queue", "legacy")
+
+
+class TestScenarioSearch:
+    def test_rediscovers_planted_uniform_random_violation(self):
+        search = ScenarioSearch(
+            BASE, seed=1, escalate_n=(8,), mutation_ops=PINNED_OPS,
+            code_version="test",
+        )
+        result = search.run(150)
+        found = [
+            f for f in result.findings
+            if f.spec.delay == "uniform-random"
+            and any(v.property_name == "consensus-agreement" for v in f.violations)
+        ]
+        assert found, "search failed to re-find the planted E6-style break"
+        finding = found[0]
+        # Confirmed on every applicable engine, escalated to n=8.
+        assert finding.engines == ("queue", "legacy")
+        assert finding.escalations and finding.escalations[0]["n"] == 8
+
+    def test_search_is_deterministic(self):
+        results = [
+            ScenarioSearch(
+                BASE, seed=5, mutation_ops=PINNED_OPS, code_version="test"
+            ).run(40)
+            for _ in range(2)
+        ]
+        digests = [
+            [f.spec_digest for f in result.findings] for result in results
+        ]
+        assert digests[0] == digests[1]
+        assert results[0].evaluations == results[1].evaluations
+
+    def test_findings_persist_and_replay_bit_identically(self, tmp_path):
+        store = RunStore(str(tmp_path / "search.sqlite"))
+        try:
+            search = ScenarioSearch(
+                BASE, seed=1, store=store, mutation_ops=PINNED_OPS,
+                code_version="test",
+            )
+            result = search.run(60)
+            assert result.findings, "need at least one finding to test replay"
+            finding = result.findings[0]
+            assert set(finding.run_keys) == set(finding.engines)
+            for engine, run_key in finding.run_keys.items():
+                # The whole point: a stored counterexample reproduces
+                # bit-identically from its persisted spec, per engine.
+                assert replay_run(store, run_key), (engine, run_key)
+                row = store.get_row(run_key, FINDING_ROW_FN)
+                assert row is not None and row["violations"]
+            # Findable by spec digest alone.
+            stored = store.query(spec_digest=finding.spec_digest)
+            assert {r.engine for r in stored} == set(finding.engines)
+            assert stored[0].spec == finding.spec
+        finally:
+            store.close()
+
+    def test_replay_run_unknown_key_raises(self, tmp_path):
+        store = RunStore(str(tmp_path / "empty.sqlite"))
+        try:
+            with pytest.raises(KeyError):
+                replay_run(store, "no-such-key")
+        finally:
+            store.close()
+
+    def test_budget_is_respected(self):
+        search = ScenarioSearch(BASE, seed=0, code_version="test")
+        result = search.run(10)
+        assert result.evaluations == 10
+        with pytest.raises(ValueError, match="budget"):
+            search.run(0)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestSearchCli:
+    def test_search_entry_point_smoke(self, tmp_path, capsys):
+        out = tmp_path / "counterexamples.json"
+        store_path = tmp_path / "runs.sqlite"
+        code = runner_main([
+            "--search",
+            "--search-budget", "80",
+            "--search-ops", ",".join(PINNED_OPS),
+            "--seed", "1",
+            "--store", str(store_path),
+            "--search-out", str(out),
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "confirmed finding(s)" in captured
+        payload = json.loads(out.read_text())
+        assert payload["evaluations"] == 80
+        uniform = [
+            f for f in payload["findings"]
+            if f["spec"]["delay"] == "uniform-random"
+        ]
+        assert uniform, "CLI search must re-find the uniform-random break"
+        # Every reported counterexample is persisted and replayable.
+        store = RunStore(str(store_path))
+        try:
+            for finding in payload["findings"]:
+                for run_key in finding["run_keys"].values():
+                    assert replay_run(store, run_key)
+        finally:
+            store.close()
+
+    def test_search_spec_file_round_trip(self, tmp_path, capsys):
+        spec_path = tmp_path / "base.json"
+        spec_path.write_text(json.dumps(BASE.to_dict()))
+        code = runner_main([
+            "--search", "--search-budget", "5",
+            "--search-spec", str(spec_path),
+            "--search-escalate", "",
+        ])
+        assert code == 0
+        assert "scenarios evaluated" in capsys.readouterr().out

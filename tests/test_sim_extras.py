@@ -50,11 +50,15 @@ class TestDelayModels:
         assert model.delivery_round(1, 1, 5, rng) == 6
         assert model.delivery_round(1, 2, 5, rng) == 14
 
-    def test_partition_delay_unknown_node_treated_as_own_group(self):
+    def test_partition_delay_unknown_nodes_are_isolated_by_default(self):
         model = PartitionDelay(groups=(frozenset({1}),))
         rng = make_rng(0)
-        # Both endpoints outside any declared group share the pseudo-group -1.
-        assert model.delivery_round(7, 8, 3, rng) == 4
+        # Two nodes outside any declared group used to share the sentinel
+        # pseudo-group -1 and talk synchronously; the default "isolated"
+        # policy keeps them apart (full edge-case matrix in
+        # test_delay_models.py).
+        assert model.delivery_round(7, 8, 3, rng) >= 1_000_000
+        assert model.delivery_round(7, 7, 3, rng) == 4
 
     def test_fixed_schedule_delay(self):
         model = FixedScheduleDelay(table={(1, 2): 5}, default=2)
