@@ -4,8 +4,12 @@ Sweeps ``n`` over the seven id-only protocols and measures round
 throughput (simulated rounds per wall-clock second, excluding system
 build time) for the selected engines:
 
-* ``fast``   — the synchronous fast path (``engine="auto"`` resolves to
-  this for every synchronous scenario, i.e. all real workloads);
+* ``vector`` — the columnar synchronous path (``engine="auto"`` resolves
+  to this for every synchronous scenario, i.e. all real workloads):
+  shared broadcast rounds become a ``ColumnarInbox`` and the protocol
+  math consumes numpy batch tallies (``tally_backend: "numpy"``);
+* ``fast``   — the object-plane synchronous fast path (same staging and
+  shared-inbox memoisation, scalar tallies);
 * ``queue``  — the round-bucketed envelope queue (general delay models);
 * ``legacy`` — the pre-bucketing single-list engine, kept as the
   performance baseline.
@@ -22,7 +26,9 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_scaling.py                 # full sweep
     PYTHONPATH=src python benchmarks/bench_scaling.py --quick         # n=50 smoke
-    PYTHONPATH=src python benchmarks/bench_scaling.py --sizes 50,100 --engines fast,queue
+    PYTHONPATH=src python benchmarks/bench_scaling.py --sizes 50,100 --engines vector,fast
+    PYTHONPATH=src python benchmarks/bench_scaling.py --xl            # adds n=2000,5000,10000
+    PYTHONPATH=src python benchmarks/bench_scaling.py --profile       # per-phase seconds
     PYTHONPATH=src python benchmarks/bench_scaling.py --store bench.db  # resumable
 
 With ``--store PATH`` every measured cell is persisted to a
@@ -50,6 +56,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.api import ScenarioSpec  # noqa: E402
 from repro.api.registry import REGISTRY  # noqa: E402
 from repro.api.sweep import resolve_stop  # noqa: E402
+from repro.core import tally  # noqa: E402
 from repro.store import (  # noqa: E402
     DEFAULT_SEGMENT_EVENTS,
     RunRecord,
@@ -64,7 +71,11 @@ from repro.store import (  # noqa: E402
 BENCH_ROW_FN = "bench_cell"
 
 DEFAULT_SIZES = (50, 100, 250, 500, 1000)
-DEFAULT_ENGINES = ("fast", "queue", "legacy")
+#: ``--xl`` appends these; only the synchronous kernels run there (the
+#: per-workload caps below keep the sweep duration sane — skipped cells
+#: are recorded, not dropped).
+XL_SIZES = (2000, 5000, 10000)
+DEFAULT_ENGINES = ("vector", "fast", "queue", "legacy")
 
 #: The seven id-only protocols (Algorithms 1–6 plus the iterated variant).
 #:
@@ -81,34 +92,39 @@ DEFAULT_ENGINES = ("fast", "queue", "legacy")
 #: messages, so the queue/legacy kernels that previously needed 697 s /
 #: 859 s for a single rotor n=500 cell now run it in seconds.
 WORKLOADS: dict[str, dict] = {
+    # The fast/vector caps only matter for the ``--xl`` sizes: the
+    # columnar vector kernel carries reliable broadcast all the way to
+    # n=10,000 (the roadmap north-star cell), while the object-plane fast
+    # kernel and the heavier protocols stop where a cell would take
+    # minutes instead of seconds.
     "reliable-broadcast": {
         "rounds": 4,
-        "caps": {"queue": 1000, "legacy": 500},
+        "caps": {"queue": 1000, "legacy": 500, "fast": 2000},
     },
     "rotor-coordinator": {
         "rounds": 6,
         "rounds_large": (500, 4),
-        "caps": {"queue": 1000, "legacy": 500},
+        "caps": {"queue": 1000, "legacy": 500, "fast": 1000, "vector": 5000},
     },
     "consensus": {
         "rounds": 5,
         "rounds_large": (500, 2),
-        "caps": {"queue": 500, "legacy": 500},
+        "caps": {"queue": 500, "legacy": 500, "fast": 1000, "vector": 5000},
     },
     "approximate-agreement": {
         "rounds": 4,
-        "caps": {"queue": 500, "legacy": 500},
+        "caps": {"queue": 500, "legacy": 500, "fast": 2000, "vector": 5000},
     },
     "iterated-approximate-agreement": {
         "rounds": 6,
         "params": {"iterations": 3},
-        "caps": {"queue": 500, "legacy": 500},
+        "caps": {"queue": 500, "legacy": 500, "fast": 2000, "vector": 5000},
     },
     "parallel-consensus": {
         "rounds": 5,
         "rounds_large": (500, 3),
         "params": {"k_instances": 4},
-        "caps": {"queue": 250, "legacy": 250},
+        "caps": {"queue": 250, "legacy": 250, "fast": 1000, "vector": 2000},
     },
     # The instance-lifecycle rewrite (quiescent decided instances, one
     # batched PCBatch broadcast per round, inbox-memoized routing/scan
@@ -120,13 +136,30 @@ WORKLOADS: dict[str, dict] = {
     "total-order": {
         "rounds": 6,
         "churn": {"rounds": 6},
-        "caps": {"queue": 100, "legacy": 250},
+        "caps": {"queue": 100, "legacy": 250, "fast": 1000, "vector": 2000},
     },
 }
 
 #: The E1/E3-style workloads the acceptance headline is computed over.
 HEADLINE_PROTOCOLS = ("reliable-broadcast", "consensus")
 HEADLINE_N = 500
+
+#: Fast-path rounds/s at n=1000 recorded in ``BENCH_scaling.json``
+#: immediately before the vector kernel landed (seed 7, same specs and
+#: round caps).  The ``vector_over_prev_fast`` speedups are computed
+#: against these pins — the in-run fast kernel also consumes the shared
+#: memoized tallies now, so comparing against it would understate what
+#: the columnar round plane bought over the previously shipped engine.
+#: Regenerate only by checking out the pre-vector revision.
+PRE_VECTOR_FAST_BASELINE: dict[tuple[str, int], float] = {
+    ("reliable-broadcast", 1000): 11.446,
+    ("rotor-coordinator", 1000): 7.658,
+    ("consensus", 1000): 29.903,
+    ("approximate-agreement", 1000): 22.042,
+    ("iterated-approximate-agreement", 1000): 13.159,
+    ("parallel-consensus", 1000): 4.798,
+    ("total-order", 1000): 0.215,
+}
 
 #: Traced fast cells are capped by default when no store is given: an
 #: in-memory traced run keeps every delivered message in the trace store,
@@ -193,6 +226,7 @@ def bench_cell(
     spill_store: "RunStore | None" = None,
     version: str = "",
     segment_events: int = DEFAULT_SEGMENT_EVENTS,
+    profile: bool = False,
 ) -> dict:
     """Build the system, run the capped scenario, time the run only.
 
@@ -201,6 +235,12 @@ def bench_cell(
     key), so peak trace memory is bounded by one segment and the timing
     includes the in-run persistence cost — the thing the spilled sweep
     actually measures.
+
+    With ``profile``, the cell gains a per-phase wall-clock breakdown:
+    stage/deliver/step seconds from the engine's round loop (structured
+    kernels only — the legacy oracle is not instrumented) plus the
+    seconds spent building inbox tallies inside ``repro.core.tally``
+    (counted within ``step_seconds``, broken out for attribution).
     """
 
     system = REGISTRY.build(spec, engine=engine)
@@ -211,6 +251,9 @@ def bench_cell(
             spill_store.trace_sink(key), segment_events=segment_events
         )
         spilled = True
+    if profile:
+        system.network.enable_phase_profile()
+        tally.reset_profile()
     start = time.perf_counter()
     result = system.network.run(
         max_rounds=spec.max_rounds, stop_when=resolve_stop(spec)
@@ -220,6 +263,7 @@ def bench_cell(
         "protocol": spec.protocol,
         "n": spec.n,
         "engine": engine,
+        "tally_backend": system.network.tally_backend(),
         "rounds": result.rounds_executed,
         "messages": result.metrics.total_messages,
         "seconds": round(elapsed, 6),
@@ -228,6 +272,16 @@ def bench_cell(
         if elapsed
         else None,
     }
+    if profile:
+        phases = system.network.phase_profile() or {}
+        snapshot = tally.profile_snapshot()
+        cell["profile"] = {
+            "stage_seconds": round(phases.get("stage", 0.0), 6),
+            "deliver_seconds": round(phases.get("deliver", 0.0), 6),
+            "step_seconds": round(phases.get("step", 0.0), 6),
+            "tally_seconds": round(snapshot["seconds"], 6),
+            "tally_builds": snapshot["builds"],
+        }
     if spec.trace:
         cell["trace"] = True
         cell["trace_events"] = len(result.trace)
@@ -304,6 +358,7 @@ def run_sweep(
     trace_max_n: "int | None" = None,
     segment_events: int = DEFAULT_SEGMENT_EVENTS,
     store: "RunStore | None" = None,
+    profile: bool = False,
 ) -> dict:
     version = code_fingerprint() if store is not None else ""
     counts = {"ran": 0, "skipped": 0}
@@ -355,7 +410,7 @@ def run_sweep(
                 if cached is not None:
                     cells.append(cached)
                     continue
-                cell = bench_cell(spec, engine)
+                cell = bench_cell(spec, engine, profile=profile)
                 if wire_volume:
                     if volume is None:
                         volume = measure_wire_volume(spec)
@@ -383,6 +438,7 @@ def run_sweep(
                         spill_store=store,
                         version=version,
                         segment_events=segment_events,
+                        profile=profile,
                     )
                     traced_cell = _persist_cell(
                         store, traced_spec, "fast", version, traced_cell, counts
@@ -414,16 +470,29 @@ def run_sweep(
         for n in sizes:
             fast = by_key.get((protocol, n, "fast", False))
             legacy = by_key.get((protocol, n, "legacy", False))
+            vector = by_key.get((protocol, n, "vector", False))
+            entry = {"protocol": protocol, "n": n}
             if fast and legacy and legacy["seconds"] and fast["rounds_per_sec"]:
-                speedups.append(
-                    {
-                        "protocol": protocol,
-                        "n": n,
-                        "fast_over_legacy": round(
-                            fast["rounds_per_sec"] / legacy["rounds_per_sec"], 2
-                        ),
-                    }
+                entry["fast_over_legacy"] = round(
+                    fast["rounds_per_sec"] / legacy["rounds_per_sec"], 2
                 )
+            if vector and vector["rounds_per_sec"]:
+                if fast and fast["rounds_per_sec"]:
+                    entry["vector_over_fast"] = round(
+                        vector["rounds_per_sec"] / fast["rounds_per_sec"], 2
+                    )
+                if legacy and legacy["rounds_per_sec"]:
+                    entry["vector_over_legacy"] = round(
+                        vector["rounds_per_sec"] / legacy["rounds_per_sec"], 2
+                    )
+                pinned = PRE_VECTOR_FAST_BASELINE.get((protocol, n))
+                if pinned:
+                    entry["prev_fast_rounds_per_sec"] = pinned
+                    entry["vector_over_prev_fast"] = round(
+                        vector["rounds_per_sec"] / pinned, 2
+                    )
+            if len(entry) > 2:
+                speedups.append(entry)
             traced = by_key.get((protocol, n, "fast", True))
             if traced and traced["rounds_per_sec"]:
                 entry = {
@@ -447,13 +516,24 @@ def run_sweep(
     headline = [
         s["fast_over_legacy"]
         for s in speedups
-        if s["n"] == HEADLINE_N and s["protocol"] in HEADLINE_PROTOCOLS
+        if s["n"] == HEADLINE_N
+        and s["protocol"] in HEADLINE_PROTOCOLS
+        and "fast_over_legacy" in s
     ]
+    # The vector acceptance bar: protocols whose columnar kernel clears
+    # 10x the *previously shipped* fast path at n=1000 (the pinned
+    # PRE_VECTOR_FAST_BASELINE numbers, not the in-run fast cells).
+    vector_wins = sorted(
+        s["protocol"]
+        for s in speedups
+        if s["n"] == 1000 and s.get("vector_over_prev_fast", 0.0) >= 10.0
+    )
     report = {
         "benchmark": "bench_scaling",
         "description": (
-            "Round throughput of the synchronous fast path vs the bucketed "
-            "queue and the pre-PR legacy engine; identical scenarios per cell. "
+            "Round throughput of the columnar vector kernel and the "
+            "synchronous fast path vs the bucketed queue and the pre-PR "
+            "legacy engine; identical scenarios per cell. "
             "message_bytes / peak_payload_bytes size the wire traffic "
             "(serialised payload bytes x copies; engine-independent, measured "
             "on a separate instrumented fast-path run per (protocol, n))."
@@ -470,6 +550,13 @@ def run_sweep(
             f"over {', '.join(HEADLINE_PROTOCOLS)}",
             "value": min(headline) if headline else None,
             "target": 5.0,
+        },
+        "vector_headline": {
+            "metric": "protocols with vector >= 10x the pre-vector fast "
+            "path at n=1000 (vs the pinned PRE_VECTOR_FAST_BASELINE)",
+            "target": 10.0,
+            "protocols": vector_wins,
+            "count": len(vector_wins),
         },
     }
     if store is not None:
@@ -497,7 +584,9 @@ def main(argv=None) -> int:
         "--sizes", default=None, help="comma-separated n values (default: 50,100,250,500,1000)"
     )
     parser.add_argument(
-        "--engines", default=None, help="comma-separated engines (default: fast,queue,legacy)"
+        "--engines",
+        default=None,
+        help="comma-separated engines (default: vector,fast,queue,legacy)",
     )
     parser.add_argument(
         "--protocols", default=None, help="comma-separated protocol subset (default: all seven)"
@@ -515,7 +604,20 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="n=50 smoke run (CI): all protocols, fast+legacy only",
+        help="n=50 smoke run (CI): all protocols, vector+fast+legacy only",
+    )
+    parser.add_argument(
+        "--xl",
+        action="store_true",
+        help="append the XL sizes "
+        f"({','.join(map(str, XL_SIZES))}) to the sweep; only the vector "
+        "kernel is uncapped there (see the WORKLOADS caps)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record a per-cell phase breakdown (stage/deliver/step/tally "
+        "seconds) for the structured engines",
     )
     parser.add_argument(
         "--no-bytes",
@@ -557,8 +659,10 @@ def main(argv=None) -> int:
         if args.quick and args.sizes is None
         else tuple(int(s) for s in (args.sizes or ",".join(map(str, DEFAULT_SIZES))).split(","))
     )
+    if args.xl:
+        sizes = sizes + tuple(n for n in XL_SIZES if n not in sizes)
     engines = (
-        ("fast", "legacy")
+        ("vector", "fast", "legacy")
         if args.quick and args.engines is None
         else tuple(e.strip() for e in (args.engines or ",".join(DEFAULT_ENGINES)).split(","))
     )
@@ -582,6 +686,7 @@ def main(argv=None) -> int:
             trace_max_n=args.trace_max_n,
             segment_events=args.segment_events,
             store=store,
+            profile=args.profile,
         )
     finally:
         if store is not None:
@@ -595,6 +700,12 @@ def main(argv=None) -> int:
     value = report["headline"]["value"]
     if value is not None:
         print(f"headline: {value:.2f}x fast over legacy (target >= 5x)")
+    vector_wins = report["vector_headline"]["protocols"]
+    if vector_wins:
+        print(
+            f"vector headline: {len(vector_wins)} protocol(s) >= 10x the "
+            f"pre-vector fast path at n=1000: {', '.join(vector_wins)}"
+        )
     if "store" in report:
         print(
             f"store: {report['store']['ran']} cells measured, "

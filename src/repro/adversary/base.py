@@ -29,7 +29,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from ..sim.messages import Broadcast, NodeId, Outgoing, Payload, Unicast
+from ..sim.messages import Broadcast, NodeId, Outgoing, Payload, Unicast, intern_payload
 from ..sim.network import SystemView
 from ..sim.node import Process, RoundView
 from ..sim.rng import make_rng
@@ -101,7 +101,7 @@ class ByzantineProcess(Process):
         self._strategy = strategy
         self._rng = make_rng(seed)
         self._system: SystemView | None = None
-        self._known: set[NodeId] = set()
+        self._known: frozenset[NodeId] = frozenset()
         self._memory: dict[str, Any] = {}
 
     @property
@@ -118,11 +118,18 @@ class ByzantineProcess(Process):
         self._system = system
 
     def step(self, view: RoundView) -> Sequence[Outgoing]:
-        self._known.update(view.inbox.senders)
+        # Same shared-union memoization as KnownSenders.observe: every
+        # Byzantine node with the same prior membership reuses one union
+        # per shared inbox instead of copying an O(n) frozenset a round.
+        known = self._known
+        self._known = known = view.inbox.memo(
+            ("byz-known", known),
+            lambda ib: intern_payload(known | ib.senders),
+        )
         ctx = AdversaryContext(
             node_id=self.node_id,
             view=view,
-            known_ids=frozenset(self._known),
+            known_ids=known,
             system=self._system,
             rng=self._rng,
             memory=self._memory,

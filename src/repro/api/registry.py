@@ -177,10 +177,10 @@ class ProtocolRegistry:
         normally the spec's registered strategy name is used.
 
         ``engine`` optionally forces a specific round-loop kernel
-        (``"fast"``/``"queue"``/``"legacy"``, see
+        (``"vector"``/``"fast"``/``"queue"``/``"legacy"``, see
         :class:`repro.sim.network.SynchronousNetwork`).  All kernels
         produce bit-identical executions; the default ``None`` leaves the
-        network on ``"auto"``, which picks the fast synchronous path
+        network on ``"auto"``, which picks the columnar vector path
         whenever the spec's delay model allows it.
         """
 

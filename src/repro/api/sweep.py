@@ -112,9 +112,10 @@ def run_scenario(
 ) -> ScenarioOutcome:
     """Build the system for ``spec``, run it under its run policy, return it.
 
-    ``engine`` optionally forces a round-loop kernel (``"fast"``/
-    ``"queue"``/``"legacy"``); the kernels are bit-identical, so this only
-    matters for benchmarking and for the engine-equivalence suite.
+    ``engine`` optionally forces a round-loop kernel (``"vector"``/
+    ``"fast"``/``"queue"``/``"legacy"``); the kernels are bit-identical,
+    so this only matters for benchmarking and for the engine-equivalence
+    suite.
     """
 
     info = REGISTRY.info(spec.protocol)

@@ -70,20 +70,46 @@ def trim_and_midpoint(values: Sequence[float]) -> float:
     return (trimmed[0] + trimmed[-1]) / 2.0
 
 
-def _first_value_per_sender(inbox: Inbox, iteration: int | None = None) -> list[float]:
+def _first_value_per_sender(
+    inbox: Inbox, iteration: int | None = None
+) -> tuple[float, ...]:
     """Extract one value per sender (the model delivers at most one honest
     value per sender per round; equivocating Byzantine senders contribute a
-    single deterministic representative)."""
+    single deterministic representative).
 
-    values: list[float] = []
-    for sender in sorted(inbox.senders):
-        for payload in inbox.payloads_from(sender):
-            if isinstance(payload, ValueMessage) and (
-                iteration is None or payload.iteration == iteration
-            ):
-                values.append(float(payload.value))
-                break
-    return values
+    The extraction — and with it the O(n log n) sender sort — is memoized
+    on the (shared) inbox per iteration tag, so on the synchronous fast
+    path every node reads the same tuple instead of rescanning.
+    """
+
+    def build(ib: Inbox) -> tuple[float, ...]:
+        values: list[float] = []
+        for sender in sorted(ib.senders):
+            for payload in ib.payloads_from(sender):
+                if isinstance(payload, ValueMessage) and (
+                    iteration is None or payload.iteration == iteration
+                ):
+                    values.append(float(payload.value))
+                    break
+        return tuple(values)
+
+    return inbox.memo(("approx-values", iteration), build)
+
+
+def _shared_midpoint(inbox: Inbox, iteration: int | None = None) -> float | None:
+    """The trimmed midpoint of the round's values, memoized on the inbox.
+
+    Every receiver of a shared broadcast inbox computes the identical
+    aggregate, so the sort inside :func:`trim_and_midpoint` runs once per
+    round instead of once per node.  ``None`` when no values arrived.
+    """
+
+    values = _first_value_per_sender(inbox, iteration)
+    if not values:
+        return None
+    return inbox.memo(
+        ("approx-midpoint", iteration), lambda ib: trim_and_midpoint(values)
+    )
 
 
 class ApproximateAgreementProcess(Process):
@@ -93,7 +119,7 @@ class ApproximateAgreementProcess(Process):
         super().__init__(node_id)
         self._input = float(input_value)
         self._output: float | None = None
-        self._received: list[float] = []
+        self._received: tuple[float, ...] = ()
 
     @property
     def input_value(self) -> float:
@@ -114,8 +140,7 @@ class ApproximateAgreementProcess(Process):
             return [Broadcast(ValueMessage(self._input))]
         if self._output is None:
             self._received = _first_value_per_sender(view.inbox)
-            if self._received:
-                self._output = trim_and_midpoint(self._received)
+            self._output = _shared_midpoint(view.inbox)
             self.halt()
         return ()
 
@@ -170,9 +195,9 @@ class IteratedApproximateAgreementProcess(Process):
         # value — each iteration therefore occupies exactly one round, as in
         # the dynamic-network usage of Section XI.
         if view.round_index > 1:
-            values = _first_value_per_sender(view.inbox, iteration=self._completed)
-            if values:
-                self._estimate = trim_and_midpoint(values)
+            midpoint = _shared_midpoint(view.inbox, iteration=self._completed)
+            if midpoint is not None:
+                self._estimate = midpoint
             self._completed += 1
             self._history.append(self._estimate)
             if self._completed >= self._iterations:

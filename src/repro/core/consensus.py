@@ -54,6 +54,7 @@ from ..sim.messages import Broadcast, Inbox, NodeId, Outgoing, Payload
 from ..sim.node import KnownSenders, Process, RoundView
 from .quorums import best_supported_value, meets_one_third, meets_two_thirds
 from .rotor_coordinator import Opinion, RotorCoordinatorCore
+from .tally import value_support
 
 __all__ = [
     "ConsensusInput",
@@ -132,6 +133,10 @@ class ConsensusProcess(Process):
         # while-loop (only the forever-silent ones are substituted for).
         self._sent_last_round: dict[type, Payload] = {}
         self._loop_senders: set[NodeId] = set()
+        # Once every known sender has spoken in the loop, the silent set is
+        # empty forever (senders only accumulate) — skip the per-round set
+        # arithmetic from then on.
+        self._loop_complete = False
         # strongprefer support observed in phase round 4, consumed in round 5.
         self._pending_strongprefer: dict[Hashable, int] = {}
         # Rounds left to keep participating after deciding (termination
@@ -194,16 +199,19 @@ class ConsensusProcess(Process):
         in the previous round).
         """
 
-        supporters: dict[Hashable, set[NodeId]] = {}
-        for sender, payload in inbox.items():
-            if isinstance(payload, message_type):
-                supporters.setdefault(payload.value, set()).add(sender)
-        counts = {value: len(senders) for value, senders in supporters.items()}
+        # The tally is memoized on the (shared) inbox — the per-value counts
+        # are built once per round, not once per node.  Copy before applying
+        # the node-local substitution so the shared dict stays pristine.
+        counts = dict(value_support(inbox, message_type))
         if substitute:
             own = self._sent_last_round.get(message_type)
             if own is not None:
                 if self._substitution == "narrow":
-                    silent = self._known.ids - self._loop_senders
+                    silent = (
+                        frozenset()
+                        if self._loop_complete
+                        else self._known.ids - self._loop_senders
+                    )
                 else:  # "broad" — ablation only, see the class docstring
                     senders_of_type = {
                         sender
@@ -246,10 +254,12 @@ class ConsensusProcess(Process):
             self._known.freeze()
 
         inbox = self._filtered(view.inbox)
-        if round_index > 3:
+        if round_index > 3 and not self._loop_complete:
             # Messages delivered from round 4 onwards were sent inside the
             # while-loop; their senders are not eligible for substitution.
             self._loop_senders.update(inbox.senders)
+            if len(self._loop_senders) >= self._known.count:
+                self._loop_complete = True
         relays = self._rotor.observe(inbox)
         phase_round = (round_index - INIT_ROUNDS - 1) % PHASE_LENGTH + 1
 

@@ -51,6 +51,7 @@ from ..sim.node import KnownSenders, Process, RoundView
 from .consensus import INIT_ROUNDS, LINGER_PHASES, PHASE_LENGTH
 from .quorums import best_supported_value
 from .rotor_coordinator import RotorCoordinatorCore
+from .tally import NO_VALUE, scan_index
 
 __all__ = [
     "BOTTOM",
@@ -167,55 +168,40 @@ class _InstanceState:
 
 
 #: ``(instance, type_key)`` support index built once per round — see
-#: :func:`_build_scan_index`.
-_ScanIndex = dict[tuple[Hashable, str], dict[Hashable, set[NodeId]]]
+#: :func:`_classify` and :func:`repro.core.tally.scan_index`.
+_ScanIndex = dict[tuple[Hashable, str], dict[Hashable, int]]
 
 #: Memo key under which the scan index is cached on the inbox.
 _SCAN_KEY = "pc-scan-index"
 
 
-def _build_scan_index(
-    inbox: Inbox,
-) -> tuple[_ScanIndex, dict[tuple[Hashable, str], set[NodeId]]]:
-    """Index a round's messages by ``(instance, type)`` in one pass.
+def _classify(payload: Payload) -> tuple[tuple[Hashable, str], Hashable] | None:
+    """Map one payload to its ``(instance, type)`` slot for the scan index.
 
     The old per-instance ``_support`` rescanned the full inbox for every
     tracked identifier — O(identifiers × inbox) per round, the dominant
     protocol cost once the total-order workload multiplexes hundreds of
-    identifiers.  One pass builds both the per-value supporter sets and the
-    "has spoken for this type" sets (valued messages plus the explicit
-    ``no…preference`` statements), and ``_support`` becomes a dictionary
-    lookup.
-
-    The function is a pure derivation of the inbox contents, so it is
-    memoized *on the inbox* (:meth:`~repro.sim.messages.Inbox.memo`): on
-    the synchronous fast path every node of an instance shares one inbox
-    object, and the index is built once per round instead of once per node.
+    identifiers.  :func:`repro.core.tally.scan_index` runs this classifier
+    once per round over the (possibly shared, possibly columnar) inbox and
+    builds both the per-value distinct-sender counts and the "has spoken
+    for this type" sets; ``_support`` becomes a dictionary lookup.  The
+    explicit ``no…preference`` statements make the sender non-missing for
+    the corresponding type without contributing a countable value
+    (:data:`repro.core.tally.NO_VALUE`).
     """
 
-    support: _ScanIndex = {}
-    spoken: dict[tuple[Hashable, str], set[NodeId]] = {}
-    for sender, payload in inbox.items():
-        cls = type(payload)
-        if cls is PCInput:
-            key = (payload.instance, _TYPE_INPUT)
-        elif cls is PCPrefer:
-            key = (payload.instance, _TYPE_PREFER)
-        elif cls is PCStrongPrefer:
-            key = (payload.instance, _TYPE_STRONG)
-        elif cls is PCNoPreference:
-            # Explicit "no quorum" statements make the sender non-missing
-            # for the corresponding type, so no value is substituted.
-            spoken.setdefault((payload.instance, _TYPE_PREFER), set()).add(sender)
-            continue
-        elif cls is PCNoStrongPreference:
-            spoken.setdefault((payload.instance, _TYPE_STRONG), set()).add(sender)
-            continue
-        else:
-            continue
-        support.setdefault(key, {}).setdefault(payload.value, set()).add(sender)
-        spoken.setdefault(key, set()).add(sender)
-    return support, spoken
+    cls = type(payload)
+    if cls is PCInput:
+        return (payload.instance, _TYPE_INPUT), payload.value
+    if cls is PCPrefer:
+        return (payload.instance, _TYPE_PREFER), payload.value
+    if cls is PCStrongPrefer:
+        return (payload.instance, _TYPE_STRONG), payload.value
+    if cls is PCNoPreference:
+        return (payload.instance, _TYPE_PREFER), NO_VALUE
+    if cls is PCNoStrongPreference:
+        return (payload.instance, _TYPE_STRONG), NO_VALUE
+    return None
 
 
 class ParallelConsensusEngine:
@@ -260,9 +246,9 @@ class ParallelConsensusEngine:
         self._lingering: list[_InstanceState] = []
         self._loop_complete = False
         self._sorted_cache: list[_InstanceState] | None = None
-        # Per-round support index, rebuilt by _scan_inbox each step.
+        # Per-round support index, rebuilt each step from the shared tally.
         self._scan_support: _ScanIndex = {}
-        self._scan_spoken: dict[tuple[Hashable, str], set[NodeId]] = {}
+        self._scan_spoken: dict[tuple[Hashable, str], frozenset[NodeId]] = {}
         # Input pairs are held here until first touch; _InstanceState is
         # materialised lazily (first message about the identifier, or the
         # first phase round where the input must speak).  The total-order
@@ -399,11 +385,9 @@ class ParallelConsensusEngine:
 
         key = (instance, type_key)
         supporters = self._scan_support.get(key)
-        counts = (
-            {value: len(senders) for value, senders in supporters.items()}
-            if supporters
-            else {}
-        )
+        # The scan index is shared (memoized on the inbox) — copy the counts
+        # before the substitution rules mutate them.
+        counts = dict(supporters) if supporters else {}
         senders_of_type = self._scan_spoken.get(key, frozenset())
 
         # ``missing`` is ``known − senders_of_type − {self}``.  By the time
@@ -454,8 +438,8 @@ class ParallelConsensusEngine:
             if len(self._loop_senders) >= self._known.count:
                 self._loop_complete = True
         relays = self._rotor.observe(inbox)
-        self._scan_support, self._scan_spoken = inbox.memo(
-            _SCAN_KEY, _build_scan_index
+        self._scan_support, self._scan_spoken = scan_index(
+            inbox, _classify, memo_key=_SCAN_KEY
         )
         phase_round = (local_round - INIT_ROUNDS - 1) % PHASE_LENGTH + 1
         if phase_round == 1:

@@ -32,6 +32,7 @@ from typing import Hashable, Sequence
 from ..sim.messages import Broadcast, NodeId, Outgoing, Payload
 from ..sim.node import KnownSenders, Process, RoundView
 from .quorums import meets_one_third, meets_two_thirds
+from .tally import field_support
 
 __all__ = [
     "Present",
@@ -165,23 +166,22 @@ class ReliableBroadcastProcess(Process):
 
     def _echo_rounds(self, view: RoundView) -> Sequence[Outgoing]:
         # Algorithm 1, lines 9–19.  Echo support is counted per round over
-        # distinct senders; nv is cumulative over all rounds so far.
+        # distinct senders; nv is cumulative over all rounds so far.  The
+        # tally is memoized on the (shared) inbox, so with a broadcast-only
+        # round every node reads the same counts dict.
         nv = self._known.count
-        support: dict[tuple[Hashable, NodeId], set[NodeId]] = {}
-        for sender, payload in view.inbox.items():
-            if isinstance(payload, Echo):
-                support.setdefault((payload.message, payload.source), set()).add(sender)
+        support = field_support(view.inbox, Echo, ("message", "source"))
 
         outgoing: list[Outgoing] = []
         newly_accepted: list[tuple[Hashable, NodeId]] = []
-        for key, senders in sorted(support.items(), key=lambda item: repr(item[0])):
+        for key, count in sorted(support.items(), key=lambda item: repr(item[0])):
             message, source = key
             already_accepted = key in self._accepted
             # Lines 11–14: relay the echo while not yet accepted.
-            if meets_one_third(len(senders), nv) and not already_accepted:
+            if meets_one_third(count, nv) and not already_accepted:
                 outgoing.append(Broadcast(Echo(message, source)))
             # Lines 15–18: accept on a two-thirds relative quorum.
-            if meets_two_thirds(len(senders), nv) and not already_accepted:
+            if meets_two_thirds(count, nv) and not already_accepted:
                 newly_accepted.append(key)
 
         for message, source in newly_accepted:

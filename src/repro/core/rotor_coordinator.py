@@ -50,7 +50,13 @@ from ..sim.messages import (
     intern_payload,
 )
 from ..sim.node import KnownSenders, Process, RoundView
-from .quorums import meets_one_third, meets_two_thirds
+from .quorums import (
+    meets_one_third,
+    meets_two_thirds,
+    one_third_mask,
+    two_thirds_mask,
+)
+from .tally import candidate_support, candidate_support_arrays, init_senders
 
 __all__ = [
     "RotorInit",
@@ -97,10 +103,10 @@ class CandidateGossip:
     ``adds`` are the candidates this sender newly echoes *this round* — the
     delta since its previous gossip — and carry exactly the per-round
     support one ``RotorEcho`` per candidate used to: quorum counting in
-    :func:`_build_echo_index` reads ``adds`` only, so the candidate-set
-    dynamics are bit-identical to the legacy encoding while the wire cost
-    of the initialization echo wave drops from O(n) payloads per sender to
-    one.
+    :func:`repro.core.tally.candidate_support` reads ``adds`` only, so the
+    candidate-set dynamics are bit-identical to the legacy encoding while
+    the wire cost of the initialization echo wave drops from O(n) payloads
+    per sender to one.
 
     ``anchor``, present on every :data:`GOSSIP_ANCHOR_PERIOD`-th emission,
     is the sender's full echoed set (sorted, including this round's adds).
@@ -236,49 +242,17 @@ class RotorRoundOutcome:
     terminated: bool
 
 
-#: Memo key for the echo-support index cached on each inbox.
+#: Memo key for the echo-support tally cached on each inbox.  Support comes
+#: from the ``adds`` of :class:`CandidateGossip` payloads (one per correct
+#: sender per round) plus any legacy per-candidate :class:`RotorEcho`
+#: payloads; gossip anchors are deliberately *not* counted — they re-state
+#: old echoes for resynchronisation, and counting them would let a replayed
+#: anchor manufacture fresh support.  See
+#: :func:`repro.core.tally.candidate_support`.
 _ECHO_KEY = "rotor-echo-index"
 
 #: Memo key for the init-announcement index cached on each inbox.
 _INIT_KEY = "rotor-init-index"
-
-
-def _build_init_index(inbox: Inbox) -> tuple[NodeId, ...]:
-    """The sorted senders that announced ``init`` in one round's inbox.
-
-    Pure and memoized on the inbox like :func:`_build_echo_index`, so the
-    scan happens once per shared inbox rather than once per receiver.
-    """
-
-    return tuple(
-        sender
-        for sender in sorted(inbox.senders)
-        if any(isinstance(p, RotorInit) for p in inbox.payloads_from(sender))
-    )
-
-
-def _build_echo_index(inbox: Inbox) -> dict[NodeId, set[NodeId]]:
-    """``candidate -> distinct echo senders`` for one round's inbox.
-
-    A pure derivation of the inbox contents, memoized on the inbox
-    (:meth:`~repro.sim.messages.Inbox.memo`) so the scan happens once per
-    shared inbox rather than once per receiver.  Support comes from the
-    ``adds`` of :class:`CandidateGossip` payloads (one per correct sender
-    per round) plus any legacy per-candidate :class:`RotorEcho` payloads;
-    gossip anchors are deliberately *not* counted — they re-state old
-    echoes for resynchronisation, and counting them would let a replayed
-    anchor manufacture fresh support.  Consumers must not mutate the
-    returned sets.
-    """
-
-    support: dict[NodeId, set[NodeId]] = {}
-    for sender, payload in inbox.items():
-        if isinstance(payload, CandidateGossip):
-            for candidate in payload.adds:
-                support.setdefault(candidate, set()).add(sender)
-        elif isinstance(payload, RotorEcho):
-            support.setdefault(payload.candidate, set()).add(sender)
-    return support
 
 
 class RotorCoordinatorCore:
@@ -357,7 +331,7 @@ class RotorCoordinatorCore:
         """
 
         self._known.observe(inbox)
-        gossip = self._gossip.emit(inbox.memo(_INIT_KEY, _build_init_index))
+        gossip = self._gossip.emit(init_senders(inbox, RotorInit, memo_key=_INIT_KEY))
         return [] if gossip is None else [gossip]
 
     # -- per-round candidate maintenance (Algorithm 2, lines 7–15) ------------------
@@ -373,25 +347,44 @@ class RotorCoordinatorCore:
 
         self._known.observe(inbox)
         nv = self._known.count
-        support = inbox.memo(_ECHO_KEY, _build_echo_index)
+        support = candidate_support(
+            inbox, CandidateGossip, RotorEcho, memo_key=_ECHO_KEY
+        )
         if not support:
             # No echoes this round — nothing can change ``Cv`` or warrant a
             # relay.  This is the steady state of every embedded engine
             # (echo traffic dies out after the init rounds), and with the
-            # shared index it makes candidate maintenance O(1) per round.
+            # shared tally it makes candidate maintenance O(1) per round.
+            return []
+
+        candidate_set = self._candidate_set
+        if candidate_set.issuperset(support):
+            # Every echoed candidate is already in ``Cv`` — the per-candidate
+            # loop would skip them all and emit nothing.
             return []
 
         relays: list[NodeId] = []
         accepted: list[NodeId] = []
-        candidate_set = self._candidate_set
-        for candidate in sorted(support):
-            if candidate in candidate_set:
-                continue
-            senders = support[candidate]
-            if meets_one_third(len(senders), nv):
-                relays.append(candidate)
-            if meets_two_thirds(len(senders), nv):
-                accepted.append(candidate)
+        if not candidate_set:
+            # The init echo wave: O(n) candidates arrive at once and none
+            # can be skipped, so threshold the whole sorted count vector in
+            # one pair of numpy comparisons instead of per-candidate calls.
+            candidates, counts = candidate_support_arrays(
+                inbox, CandidateGossip, RotorEcho, memo_key=_ECHO_KEY
+            )
+            relay_mask = one_third_mask(counts, nv).tolist()
+            accept_mask = two_thirds_mask(counts, nv).tolist()
+            relays = [c for c, ok in zip(candidates, relay_mask) if ok]
+            accepted = [c for c, ok in zip(candidates, accept_mask) if ok]
+        else:
+            for candidate in sorted(support):
+                if candidate in candidate_set:
+                    continue
+                count = support[candidate]
+                if meets_one_third(count, nv):
+                    relays.append(candidate)
+                if meets_two_thirds(count, nv):
+                    accepted.append(candidate)
         if accepted:
             # One batch insert + sort per round instead of a sort per
             # candidate (the echo round delivers O(n) acceptances at once).

@@ -46,6 +46,7 @@ from ..sim.messages import (
 )
 from ..sim.node import Process, RoundView
 from .parallel_consensus import ParallelConsensusEngine
+from .tally import control_pairs
 
 __all__ = [
     "PresentMsg",
@@ -346,12 +347,10 @@ class TotalOrderProcess(Process):
         # -- 1. membership and event intake -------------------------------------
         # Batched consensus traffic is routed separately (and shared across
         # nodes on the fast path) by _instance_inboxes; this pass only
-        # handles the O(senders) membership/event payloads.
+        # handles the O(events) membership/event payloads, pre-filtered once
+        # per shared inbox by the memoized control-plane tally.
         incoming_events: list[tuple[NodeId, Hashable]] = []
-        for sender, payload in view.inbox.items():
-            cls = type(payload)
-            if cls is PCBatch or cls is PCWrap:
-                continue
+        for sender, payload in control_pairs(view.inbox, (PCBatch, PCWrap)):
             if isinstance(payload, PresentMsg):
                 self._members.add(sender)
                 outgoing.append(Unicast(sender, AckMsg(round_number)))

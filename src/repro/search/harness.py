@@ -40,13 +40,13 @@ _FRONTIER_SIZE = 4
 def applicable_engines(spec: ScenarioSpec) -> tuple[str, ...]:
     """The engines a spec can run on.
 
-    The fast kernel is synchronous-only (``set_engine("fast")`` rejects
-    delayed models), so non-synchronous specs are confirmed on the
-    queue/legacy pair; synchronous specs on all three.
+    The vector and fast kernels are synchronous-only (``set_engine``
+    rejects delayed models for them), so non-synchronous specs are
+    confirmed on the queue/legacy pair; synchronous specs on all four.
     """
 
     if spec.delay == "synchronous":
-        return ("fast", "queue", "legacy")
+        return ("vector", "fast", "queue", "legacy")
     return ("queue", "legacy")
 
 

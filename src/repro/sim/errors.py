@@ -17,6 +17,24 @@ class ConfigurationError(SimulationError):
     """The simulation was constructed with inconsistent parameters."""
 
 
+class UnknownEngineError(ConfigurationError, ValueError):
+    """An engine name outside :data:`repro.sim.network.ENGINE_CHOICES`.
+
+    Raised *eagerly* — at network construction for ``REPRO_ENGINE`` and at
+    :meth:`~repro.sim.network.SynchronousNetwork.set_engine` for explicit
+    arguments — never at mid-run resolution.  Doubles as a ``ValueError``
+    so argument-validation callers can catch it idiomatically.
+    """
+
+    def __init__(self, engine: object, choices: tuple, *, source: str | None = None) -> None:
+        origin = f" (from {source})" if source else ""
+        super().__init__(
+            f"unknown engine {engine!r}{origin}; choose from {', '.join(choices)}"
+        )
+        self.engine = engine
+        self.choices = choices
+
+
 class DuplicateNodeError(ConfigurationError):
     """Two processes were registered with the same node identifier."""
 

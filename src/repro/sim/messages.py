@@ -71,6 +71,7 @@ __all__ = [
     "Outgoing",
     "Envelope",
     "Inbox",
+    "ColumnarInbox",
     "InboxBuilder",
     "cached_payload_hash",
     "intern_payload",
@@ -357,10 +358,9 @@ class Inbox:
         where Byzantine senders must be stripped.
         """
 
-        if self.senders <= allowed:
-            return self
-
         def build(inbox: "Inbox") -> "Inbox":
+            if inbox.senders <= allowed:
+                return inbox
             kept = {
                 sender: payloads
                 for sender, payloads in inbox._by_sender.items()
@@ -368,6 +368,10 @@ class Inbox:
             }
             return Inbox._from_collapsed(kept)
 
+        # The subset test is O(senders); memoizing even the "nothing to
+        # strip" case makes the per-node cost of the common path a single
+        # dict probe (frozensets cache their hash, and the interned
+        # known-sender views make the key comparison an identity check).
         return self.memo(("wire-restricted", allowed), build)
 
     # -- protocol-oriented queries ----------------------------------------
@@ -443,6 +447,145 @@ class Inbox:
 
 
 _EMPTY_INBOX = Inbox()
+
+
+class ColumnarInbox(Inbox):
+    """A shared broadcast-round inbox backed by parallel columns.
+
+    Instead of the per-sender payload-tuple dict a plain :class:`Inbox`
+    eagerly builds, this representation keeps the round's traffic as three
+    parallel structures: a table of *distinct* payloads, a column of sender
+    ids and a column of payload-table indexes — one row per retained
+    ``(sender, payload)`` pair, in exactly the order :meth:`Inbox.items`
+    would yield them.  Payload identity is therefore an integer compare,
+    which is what lets :mod:`repro.core.tally` compute quorum counts and
+    support tallies as ``np.bincount``/``np.unique`` batch operations over
+    the columns.
+
+    The object-based API is preserved bit-for-bit: ``_by_sender`` is
+    materialised lazily on first use (``payloads_from``, ``restricted``,
+    adversary strategies…), grouped identically to the dict the fast
+    kernel would have built, so every consumer observes the same contents
+    in the same order.
+    """
+
+    __slots__ = ("_payload_table", "_sender_rows", "_payload_rows",
+                 "_sender_order", "_collapsed")
+
+    @classmethod
+    def from_staged(cls, staged: Iterable[tuple[NodeId, Payload, Any]]) -> "Inbox":
+        """Build the shared inbox straight from staged send-batches.
+
+        ``staged`` holds ``(sender, payload, dests)`` triples grouped by
+        sender (one contiguous run per sender — the fast kernel stages one
+        node's actions consecutively).  Duplicate payloads from the same
+        sender are collapsed first-occurrence, matching ``Inbox(by_sender)``.
+        Falls back to a plain :class:`Inbox` when a payload is unhashable
+        or the batches are not sender-contiguous.
+        """
+
+        table: dict[Payload, int] = {}
+        payload_table: list[Payload] = []
+        sender_rows: list[NodeId] = []
+        payload_rows: list[int] = []
+        sender_order: list[NodeId] = []
+        grouped = set()
+        current: Any = _UNGROUPED
+        seen: set[int] = set()
+        try:
+            for sender, payload, _dests in staged:
+                if sender != current:
+                    if sender in grouped:
+                        raise _NotContiguous
+                    grouped.add(sender)
+                    current = sender
+                    sender_order.append(sender)
+                    seen = set()
+                index = table.get(payload)
+                if index is None:
+                    table[payload] = index = len(payload_table)
+                    payload_table.append(payload)
+                elif index in seen:
+                    continue
+                seen.add(index)
+                sender_rows.append(sender)
+                payload_rows.append(index)
+        except (TypeError, _NotContiguous):
+            by_sender: dict[NodeId, list[Payload]] = {}
+            for sender, payload, _dests in staged:
+                by_sender.setdefault(sender, []).append(payload)
+            return Inbox(by_sender)
+        inbox = cls.__new__(cls)
+        inbox._payload_table = payload_table
+        inbox._sender_rows = sender_rows
+        inbox._payload_rows = payload_rows
+        inbox._sender_order = sender_order
+        inbox._collapsed = None
+        inbox._size = len(sender_rows)
+        inbox._senders = None
+        inbox._memo = None
+        return inbox
+
+    # The base class stores the per-sender dict in a slot; shadowing it
+    # with a property keeps every inherited method working against the
+    # lazily materialised grouping.
+    @property
+    def _by_sender(self) -> dict[NodeId, tuple[Payload, ...]]:
+        collapsed = self._collapsed
+        if collapsed is None:
+            payloads = self._payload_table
+            grouped: dict[NodeId, list[Payload]] = {
+                sender: [] for sender in self._sender_order
+            }
+            for sender, index in zip(self._sender_rows, self._payload_rows):
+                grouped[sender].append(payloads[index])
+            collapsed = {
+                sender: tuple(items) for sender, items in grouped.items()
+            }
+            self._collapsed = collapsed
+        return collapsed
+
+    def columns(self) -> tuple[list[NodeId], list[int], list[Payload]]:
+        """``(sender_rows, payload_rows, payload_table)`` — parallel columns.
+
+        Row ``i`` states that ``sender_rows[i]`` delivered
+        ``payload_table[payload_rows[i]]``; rows appear in
+        :meth:`Inbox.items` order.  Consumers must not mutate the lists.
+        """
+
+        return self._sender_rows, self._payload_rows, self._payload_table
+
+    @property
+    def senders(self) -> frozenset[NodeId]:
+        cached = self._senders
+        if cached is None:
+            cached = frozenset(self._sender_order)
+            self._senders = cached
+        return cached
+
+    def items(self) -> Iterator[tuple[NodeId, Payload]]:
+        payloads = self._payload_table
+        for sender, index in zip(self._sender_rows, self._payload_rows):
+            yield sender, payloads[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._sender_rows)
+
+    def __contains__(self, sender: NodeId) -> bool:
+        return sender in self.senders
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarInbox(rows={len(self._sender_rows)}, "
+            f"payloads={len(self._payload_table)})"
+        )
+
+
+class _NotContiguous(Exception):
+    """Internal: staged batches were not grouped by sender."""
+
+
+_UNGROUPED = object()
 
 
 @dataclass

@@ -19,9 +19,20 @@ treat every (configuration, seed) pair as a reproducible data point.
 
 Engine architecture
 -------------------
-The round loop runs on one of three interchangeable kernels, all of which
+The round loop runs on one of four interchangeable kernels, all of which
 produce bit-identical traces, metrics and outputs (guarded by
 ``tests/test_engine_equivalence.py``):
+
+``vector``
+    The columnar synchronous path.  Shares the fast path's staging and
+    delivery machinery, but broadcast-only rounds materialise a
+    :class:`~repro.sim.messages.ColumnarInbox` — parallel sender/payload-
+    index columns over an interned payload table — so the protocol math
+    in :mod:`repro.core.tally` can batch quorum counts and support
+    tallies with numpy (``np.bincount``/``np.unique``) instead of
+    scanning Python objects per node.  Rounds that cannot be represented
+    columnarly (unicasts, unhashable payloads) fall back to the ``fast``
+    representation for that round, so the engine is always safe to pick.
 
 ``fast``
     The synchronous fast path.  When every message is delivered exactly one
@@ -50,11 +61,13 @@ produce bit-identical traces, metrics and outputs (guarded by
     reference oracle for the equivalence suite and as the baseline for
     ``benchmarks/bench_scaling.py``.  Do not use it for real workloads.
 
-Engine selection is ``engine="auto"`` by default — ``fast`` when the delay
-model reports :attr:`~repro.sim.delays.DelayModel.synchronous`, ``queue``
-otherwise.  The ``REPRO_ENGINE`` environment variable overrides ``auto``
-(useful for A/B benchmarking whole sweeps without touching call sites);
-an explicit non-auto constructor argument always wins.
+Engine selection is ``engine="auto"`` by default — ``vector`` when the
+delay model reports :attr:`~repro.sim.delays.DelayModel.synchronous`,
+``queue`` otherwise.  The ``REPRO_ENGINE`` environment variable overrides
+``auto`` (useful for A/B benchmarking whole sweeps without touching call
+sites); an explicit non-auto constructor argument always wins.  Unknown
+engine names raise :class:`~repro.sim.errors.UnknownEngineError` eagerly,
+at construction / ``set_engine`` time.
 
 Shared by the ``fast`` and ``queue`` kernels (but deliberately *not* by
 ``legacy``): the sorted active-membership list and the Byzantine id set
@@ -69,6 +82,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -80,10 +94,12 @@ from .errors import (
     InvalidOutgoingError,
     MembershipError,
     RoundLimitExceeded,
+    UnknownEngineError,
 )
 from .events import DEFAULT_SEGMENT_EVENTS, EventKind, Trace
 from .messages import (
     Broadcast,
+    ColumnarInbox,
     Envelope,
     Inbox,
     InboxBuilder,
@@ -106,7 +122,10 @@ __all__ = [
 ]
 
 #: Valid values for the ``engine`` constructor argument / ``REPRO_ENGINE``.
-ENGINE_CHOICES = ("auto", "fast", "queue", "legacy")
+ENGINE_CHOICES = ("auto", "fast", "vector", "queue", "legacy")
+
+#: Kernels that require a synchronous delay model (staged delivery).
+_SYNCHRONOUS_ONLY = ("fast", "vector")
 
 #: Environment variable overriding ``engine="auto"`` for every network.
 ENGINE_ENV_VAR = "REPRO_ENGINE"
@@ -282,13 +301,21 @@ class SynchronousNetwork:
         #: Opt-in wire-volume accounting (serialised payload bytes); see
         #: :meth:`enable_payload_accounting`.
         self._measure_bytes = False
+        #: Opt-in per-phase wall-clock accumulation (deliver/step/stage
+        #: seconds); see :meth:`enable_phase_profile`.
+        self._phase_profile: dict[str, float] | None = None
         self._engine = "auto"
         env = os.environ.get(ENGINE_ENV_VAR, "").strip()
+        if env and env not in ENGINE_CHOICES:
+            # Validated eagerly even when an explicit constructor engine
+            # would win: a misspelt A/B override must never be silently
+            # ignored (or surface only at mid-run resolution).
+            raise UnknownEngineError(env, ENGINE_CHOICES, source=ENGINE_ENV_VAR)
         if engine == "auto" and env:
-            if env == "fast" and not self._delay_model.synchronous:
-                # The env override A/B-tests whole sweeps; networks the fast
-                # kernel cannot drive (delayed delivery) stay on auto rather
-                # than crashing the sweep.  Unknown names still fail loudly.
+            if env in _SYNCHRONOUS_ONLY and not self._delay_model.synchronous:
+                # The env override A/B-tests whole sweeps; networks the
+                # staged kernels cannot drive (delayed delivery) stay on
+                # auto rather than crashing the sweep.
                 pass
             else:
                 engine = env
@@ -306,12 +333,10 @@ class SynchronousNetwork:
         """Select the round-loop kernel; only allowed before round 1."""
 
         if engine not in ENGINE_CHOICES:
+            raise UnknownEngineError(engine, ENGINE_CHOICES)
+        if engine in _SYNCHRONOUS_ONLY and not self._delay_model.synchronous:
             raise ConfigurationError(
-                f"unknown engine {engine!r}; choose from {', '.join(ENGINE_CHOICES)}"
-            )
-        if engine == "fast" and not self._delay_model.synchronous:
-            raise ConfigurationError(
-                "the fast engine requires a synchronous delay model; "
+                f"the {engine} engine requires a synchronous delay model; "
                 "use engine='queue' (or 'auto') for delayed delivery"
             )
         if self._round > 0 and engine != self._engine:
@@ -323,7 +348,19 @@ class SynchronousNetwork:
 
         if self._engine != "auto":
             return self._engine
-        return "fast" if self._delay_model.synchronous else "queue"
+        return "vector" if self._delay_model.synchronous else "queue"
+
+    def tally_backend(self) -> str:
+        """Which :mod:`repro.core.tally` implementation this run uses.
+
+        The vector kernel hands protocols columnar inboxes, so its tallies
+        run on the numpy backend; every other kernel (and the vector
+        kernel's own fallback rounds) uses the scalar reference.  Recorded
+        in run summaries and bench cells so stored results disclose the
+        implementation that produced them.
+        """
+
+        return "numpy" if self.resolved_engine() == "vector" else "scalar"
 
     def enable_trace_spill(
         self, sink, *, segment_events: int = DEFAULT_SEGMENT_EVENTS
@@ -488,6 +525,23 @@ class SynchronousNetwork:
 
     # -- the round loop --------------------------------------------------------------
 
+    def enable_phase_profile(self) -> None:
+        """Accumulate per-phase wall-clock seconds for the structured kernels.
+
+        After enabling, :meth:`phase_profile` reports cumulative
+        ``deliver``/``step``/``stage`` seconds (the legacy kernel is one
+        monolithic loop and reports nothing).  Purely observational — the
+        executed rounds are unchanged.
+        """
+
+        self._phase_profile = {"deliver": 0.0, "step": 0.0, "stage": 0.0}
+
+    def phase_profile(self) -> dict[str, float] | None:
+        """Cumulative per-phase seconds, or ``None`` when not enabled."""
+
+        profile = self._phase_profile
+        return dict(profile) if profile is not None else None
+
     def step_round(self) -> None:
         """Execute exactly one round."""
 
@@ -500,28 +554,53 @@ class SynchronousNetwork:
         self._apply_membership_changes(round_index)
         round_metrics = self._metrics.start_round(round_index)
         self._trace.record_event(EventKind.ROUND_START, round_index)
+        profile = self._phase_profile
+        clock = perf_counter if profile is not None else None
 
         # 1. Deliver messages scheduled for this round.
+        started = clock() if clock else 0.0
         if engine == "fast":
             inboxes = self._deliver_staged(round_index)
+        elif engine == "vector":
+            inboxes = self._deliver_staged(round_index, columnar=True)
         else:
             inboxes = self._deliver_bucketed(round_index)
+        if clock:
+            now = clock()
+            profile["deliver"] += now - started
+            started = now
 
         # 2. Step every active process.
         outgoing_by_node = self._step_processes(round_index, round_metrics, inboxes)
+        if clock:
+            now = clock()
+            profile["step"] += now - started
+            started = now
 
         # 3. Schedule the outgoing messages.
-        if engine == "fast":
+        if engine in _SYNCHRONOUS_ONLY:
             self._stage_outgoing(outgoing_by_node, round_index)
         else:
             for node_id, actions in outgoing_by_node.items():
                 for action in actions:
                     self._schedule(node_id, action, round_index)
+        if clock:
+            profile["stage"] += clock() - started
 
     # -- delivery (fast engine) ----------------------------------------------------
 
-    def _deliver_staged(self, round_index: int) -> dict[NodeId, Inbox]:
-        """Turn last round's staged batches into this round's inboxes."""
+    def _deliver_staged(
+        self, round_index: int, *, columnar: bool = False
+    ) -> dict[NodeId, Inbox]:
+        """Turn last round's staged batches into this round's inboxes.
+
+        With ``columnar=True`` (the vector kernel) a broadcast-only round
+        skips the per-sender dict build entirely: the staged batches feed
+        :meth:`ColumnarInbox.from_staged` directly, giving every recipient
+        a shared column view the numpy tallies operate on.  Rounds with
+        unicasts (or unhashable payloads) fall back to the fast kernel's
+        object delivery, so the two kernels differ only in representation.
+        """
 
         staged, shared = self._staged, self._staged_shared
         self._staged = None
@@ -553,13 +632,16 @@ class SynchronousNetwork:
             # — and the single shared Inbox is also what lets the batched
             # total-order wrapper be routed once per round instead of once
             # per receiving node (see repro.core.total_order).
-            by_sender: dict[NodeId, list[Any]] = {}
-            for sender, payload, _ in staged:
-                bucket = by_sender.get(sender)
-                if bucket is None:
-                    by_sender[sender] = bucket = []
-                bucket.append(payload)
-            inbox = Inbox(by_sender)
+            if columnar:
+                inbox = ColumnarInbox.from_staged(staged)
+            else:
+                by_sender: dict[NodeId, list[Any]] = {}
+                for sender, payload, _ in staged:
+                    bucket = by_sender.get(sender)
+                    if bucket is None:
+                        by_sender[sender] = bucket = []
+                    bucket.append(payload)
+                inbox = Inbox(by_sender)
             return {dest: inbox for dest in shared if dest in active}
         pairs_by_dest: dict[NodeId, list[tuple[NodeId, Any]]] = {}
         for sender, payload, dests in staged:

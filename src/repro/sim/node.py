@@ -28,7 +28,7 @@ import abc
 from dataclasses import dataclass
 from typing import Any, Sequence
 
-from .messages import Inbox, NodeId, Outgoing
+from .messages import Inbox, NodeId, Outgoing, intern_payload
 
 __all__ = ["RoundView", "Process", "KnownSenders", "NullProcess"]
 
@@ -125,12 +125,11 @@ class KnownSenders:
     protocol code reads like the pseudocode.
     """
 
-    __slots__ = ("_ids", "_frozen", "_view")
+    __slots__ = ("_view", "_frozen")
 
     def __init__(self) -> None:
-        self._ids: set[NodeId] = set()
         self._frozen = False
-        self._view: frozenset[NodeId] | None = None
+        self._view: frozenset[NodeId] = frozenset()
 
     def observe(self, inbox: Inbox) -> None:
         """Record every sender in ``inbox``.
@@ -138,18 +137,36 @@ class KnownSenders:
         After :meth:`freeze` the membership no longer grows; Algorithms 3
         and 5 freeze ``nv`` after their two initialization rounds and
         discard messages from unknown senders afterwards.
+
+        The union is memoized on the inbox, keyed by the membership going
+        in: on the shared-inbox engines every node with the same prior
+        view (all of them, in the common lock-step case) reuses one union
+        computed once per round instead of paying an O(n) set update each.
+        The result is interned, so in the steady state — no new senders —
+        the memo hands back the *same* frozenset object and this is a
+        dict lookup plus an identity-equal assignment.
         """
 
-        if not self._frozen:
-            before = len(self._ids)
-            self._ids.update(inbox.senders)
-            if len(self._ids) != before:
-                self._view = None
+        if self._frozen:
+            return
+        view = self._view
+        self._view = inbox.memo(
+            ("known-senders", view),
+            lambda ib: intern_payload(view | ib.senders),
+        )
 
     def freeze(self) -> None:
-        """Stop growing the set (used after the init rounds of Alg. 3/5)."""
+        """Stop growing the set (used after the init rounds of Alg. 3/5).
+
+        The frozen view is interned: correct nodes overwhelmingly freeze
+        identical memberships, and sharing one canonical frozenset makes
+        the memo-key comparisons of :meth:`~repro.sim.messages.Inbox.memo`
+        (restricted views are keyed by the allowed set) an identity check
+        instead of an element-wise hash-and-compare.
+        """
 
         self._frozen = True
+        self._view = intern_payload(self._view)
 
     @property
     def frozen(self) -> bool:
@@ -159,11 +176,11 @@ class KnownSenders:
     def count(self) -> int:
         """The value ``nv`` used in the relative quorum thresholds."""
 
-        return len(self._ids)
+        return len(self._view)
 
     @property
     def ids(self) -> frozenset[NodeId]:
-        """A stable frozen view, rebuilt only when the set actually grew.
+        """The membership as a frozenset — the storage itself.
 
         Quorum counting queries this every support count, and the wire
         layer uses it as the memo key of the shared
@@ -172,17 +189,14 @@ class KnownSenders:
         lookups cheap at scale.
         """
 
-        view = self._view
-        if view is None:
-            view = self._view = frozenset(self._ids)
-        return view
+        return self._view
 
     def __contains__(self, node_id: NodeId) -> bool:
-        return node_id in self._ids
+        return node_id in self._view
 
     def __len__(self) -> int:
-        return len(self._ids)
+        return len(self._view)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "frozen" if self._frozen else "open"
-        return f"KnownSenders(n={len(self._ids)}, {state})"
+        return f"KnownSenders(n={len(self._view)}, {state})"

@@ -71,12 +71,18 @@ def record_from_outcome(
 
     Captures the summary, per-round metric columns, per-node counters,
     decisions, the correct nodes' outputs and — for traced runs — the
-    columnar trace sliced into footer-indexed segments.
+    columnar trace sliced into footer-indexed segments.  The summary
+    additionally discloses which tally implementation produced the run
+    (``tally_backend``: ``"numpy"`` on the vector kernel, ``"scalar"``
+    everywhere else) — the numbers are bit-identical either way, but
+    stored runs should say how they were computed.
     """
 
     spec = outcome.spec
     metrics = outcome.result.metrics
     version = code_version if code_version is not None else code_fingerprint()
+    summary = json_normalize(metrics.summary())
+    summary["tally_backend"] = outcome.network.tally_backend()
     return RunRecord(
         run_key=run_key(spec, engine=engine, code_version=version),
         spec_dict=spec.to_dict(),
@@ -84,7 +90,7 @@ def record_from_outcome(
         engine=engine or "auto",
         code_version=version,
         status="complete",
-        summary=json_normalize(metrics.summary()),
+        summary=summary,
         rounds_executed=outcome.result.rounds_executed,
         stop_reason=outcome.result.stop_reason,
         peak_payload_bytes=metrics.peak_payload_bytes,

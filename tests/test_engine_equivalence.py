@@ -1,9 +1,10 @@
 """Metamorphic engine-equivalence suite.
 
-The round engine runs on one of three kernels (``fast``, ``queue``,
-``legacy`` — see :mod:`repro.sim.network`).  These tests are the core
-guard for the fast path: for every registered protocol, over a grid of
-seeds, all applicable kernels must produce **bit-identical** executions —
+The round engine runs on one of four kernels (``vector``, ``fast``,
+``queue``, ``legacy`` — see :mod:`repro.sim.network`).  These tests are
+the core guard for the structured paths: for every registered protocol,
+over a grid of seeds, all applicable kernels must produce
+**bit-identical** executions —
 the same trace events in the same order, the same metrics (including
 per-node counter *insertion order*), the same outputs, the same stop
 reason.  A divergence anywhere means the fast path changed observable
@@ -73,25 +74,28 @@ def test_scenario_table_covers_every_registered_protocol():
 
 @pytest.mark.parametrize("protocol", sorted(SCENARIOS))
 @pytest.mark.parametrize("seed", SEEDS)
-def test_fast_queue_and_legacy_are_trace_identical(protocol, seed):
+def test_vector_fast_queue_and_legacy_are_trace_identical(protocol, seed):
     spec = ScenarioSpec(protocol=protocol, seed=seed, trace=True, **SCENARIOS[protocol])
     prints = {
         engine: fingerprint(run_scenario(spec, engine=engine))
-        for engine in ("fast", "queue", "legacy")
+        for engine in ("vector", "fast", "queue", "legacy")
     }
+    assert prints["vector"] == prints["legacy"]
     assert prints["fast"] == prints["legacy"]
     assert prints["queue"] == prints["legacy"]
 
 
 def test_total_order_churn_n50_is_trace_identical_across_kernels():
-    """Total-order at n=50 with churn, across all three kernels.
+    """Total-order at n=50 with churn, across all four kernels.
 
     Before the instance-lifecycle rewrite the protocol's own chain/ack
     bookkeeping made n=50 too slow to run on the reference kernels; now
     that per-round cost is bounded by the decide+linger window, the
-    three-kernel bit-identical guarantee is enforced at a size where
+    four-kernel bit-identical guarantee is enforced at a size where
     batching, quiescence (first transition ≈ round 20: decide + linger)
-    and churn-time delivery filtering are all exercised for real.
+    and churn-time delivery filtering are all exercised for real.  Churn
+    also forces the vector kernel through its unicast/non-shared fallback
+    rounds mid-run.
     """
 
     spec = ScenarioSpec(
@@ -105,15 +109,16 @@ def test_total_order_churn_n50_is_trace_identical_across_kernels():
     )
     prints = {
         engine: fingerprint(run_scenario(spec, engine=engine))
-        for engine in ("fast", "queue", "legacy")
+        for engine in ("vector", "fast", "queue", "legacy")
     }
+    assert prints["vector"] == prints["legacy"]
     assert prints["fast"] == prints["legacy"]
     assert prints["queue"] == prints["legacy"]
 
 
 @pytest.mark.parametrize("protocol", ("consensus", "total-order"))
 def test_trace_with_payload_accounting_is_kernel_identical(protocol):
-    """``trace=True`` + ``enable_payload_accounting()`` on all three kernels.
+    """``trace=True`` + ``enable_payload_accounting()`` on all four kernels.
 
     The columnar trace store and the byte accounting hook into the same
     send/delivery paths of each kernel; running them *together* pins that
@@ -128,7 +133,7 @@ def test_trace_with_payload_accounting_is_kernel_identical(protocol):
     spec = ScenarioSpec(protocol=protocol, seed=2, trace=True, **SCENARIOS[protocol])
     info = REGISTRY.info(spec.protocol)
     prints = {}
-    for engine in ("fast", "queue", "legacy"):
+    for engine in ("vector", "fast", "queue", "legacy"):
         system = REGISTRY.build(spec, engine=engine)
         system.network.enable_payload_accounting()
         result = system.network.run(
@@ -139,6 +144,7 @@ def test_trace_with_payload_accounting_is_kernel_identical(protocol):
         assert len(result.trace) > 0
         assert result.metrics.total_payload_bytes > 0
         prints[engine] = fingerprint(outcome)
+    assert prints["vector"] == prints["legacy"]
     assert prints["fast"] == prints["legacy"]
     assert prints["queue"] == prints["legacy"]
 
@@ -169,28 +175,31 @@ def test_queue_matches_legacy_under_delay_models(delay, delay_params, seed):
     assert queued == legacy
 
 
-def test_auto_resolves_to_fast_only_for_synchronous_delay(monkeypatch):
+def test_auto_resolves_to_vector_only_for_synchronous_delay(monkeypatch):
     monkeypatch.delenv("REPRO_ENGINE", raising=False)
     sync = SynchronousNetwork([NullProcess(1)])
-    assert sync.resolved_engine() == "fast"
+    assert sync.resolved_engine() == "vector"
+    assert sync.tally_backend() == "numpy"
     from repro.sim import UniformRandomDelay
 
     delayed = SynchronousNetwork([NullProcess(1)], delay_model=UniformRandomDelay())
     assert delayed.resolved_engine() == "queue"
+    assert delayed.tally_backend() == "scalar"
 
 
-def test_fast_engine_rejects_delayed_delivery():
+@pytest.mark.parametrize("engine", ("fast", "vector"))
+def test_synchronous_only_engines_reject_delayed_delivery(engine):
     from repro.sim import UniformRandomDelay
 
     with pytest.raises(ConfigurationError):
         SynchronousNetwork(
-            [NullProcess(1)], delay_model=UniformRandomDelay(), engine="fast"
+            [NullProcess(1)], delay_model=UniformRandomDelay(), engine=engine
         )
     spec = ScenarioSpec(
         protocol="consensus", n=4, f=1, delay="uniform-random", seed=0
     )
     with pytest.raises(ConfigurationError):
-        run_scenario(spec, engine="fast")
+        run_scenario(spec, engine=engine)
 
 
 def test_engine_cannot_change_mid_run():
@@ -201,9 +210,34 @@ def test_engine_cannot_change_mid_run():
     net.set_engine(net.engine)  # a no-op reassignment stays allowed
 
 
-def test_unknown_engine_is_rejected():
+def test_unknown_engine_is_rejected_eagerly_with_choices():
+    from repro.sim.errors import UnknownEngineError
+    from repro.sim.network import ENGINE_CHOICES
+
+    # Still a ConfigurationError (backwards compatible) *and* a plain
+    # ValueError, raised at construction — never at mid-run resolution —
+    # with a message listing every known engine.
     with pytest.raises(ConfigurationError):
         SynchronousNetwork([NullProcess(1)], engine="warp")
+    with pytest.raises(ValueError) as excinfo:
+        SynchronousNetwork([NullProcess(1)], engine="warp")
+    message = str(excinfo.value)
+    assert "warp" in message
+    for choice in ENGINE_CHOICES:
+        assert choice in message
+    assert excinfo.value.choices == ENGINE_CHOICES
+    net = SynchronousNetwork([NullProcess(1)])
+    with pytest.raises(UnknownEngineError):
+        net.set_engine("warp")
+
+
+def test_engine_env_var_is_validated_eagerly(monkeypatch):
+    # A bad REPRO_ENGINE fails at construction even when an explicit
+    # engine argument would win, and the message names the env var.
+    monkeypatch.setenv("REPRO_ENGINE", "warp")
+    with pytest.raises(ValueError) as excinfo:
+        SynchronousNetwork([NullProcess(1)], engine="fast")
+    assert "REPRO_ENGINE" in str(excinfo.value)
 
 
 def test_engine_env_var_overrides_auto(monkeypatch):
@@ -215,14 +249,17 @@ def test_engine_env_var_overrides_auto(monkeypatch):
     assert explicit.resolved_engine() == "queue"
 
 
-def test_engine_env_var_fast_falls_back_for_delayed_models(monkeypatch):
-    # REPRO_ENGINE=fast A/B-tests whole sweeps; a network the fast kernel
-    # cannot drive must stay on auto instead of crashing the sweep
+@pytest.mark.parametrize("env_engine", ("fast", "vector"))
+def test_engine_env_var_sync_only_falls_back_for_delayed_models(
+    monkeypatch, env_engine
+):
+    # REPRO_ENGINE=fast/vector A/B-tests whole sweeps; a network those
+    # kernels cannot drive must stay on auto instead of crashing the sweep
     from repro.sim import UniformRandomDelay
 
-    monkeypatch.setenv("REPRO_ENGINE", "fast")
+    monkeypatch.setenv("REPRO_ENGINE", env_engine)
     sync = SynchronousNetwork([NullProcess(1)])
-    assert sync.resolved_engine() == "fast"
+    assert sync.resolved_engine() == env_engine
     delayed = SynchronousNetwork([NullProcess(1)], delay_model=UniformRandomDelay())
     assert delayed.resolved_engine() == "queue"
     monkeypatch.setenv("REPRO_ENGINE", "warp")
@@ -241,7 +278,7 @@ def test_sweep_runner_engine_is_result_identical():
     )
     by_engine = {
         engine: SweepRunner(jobs=1, engine=engine).run(sweep)
-        for engine in (None, "fast", "queue", "legacy")
+        for engine in (None, "vector", "fast", "queue", "legacy")
     }
     baseline = by_engine[None]
     assert all(rows == baseline for rows in by_engine.values())

@@ -174,9 +174,9 @@ class TestScoring:
 
 
 class TestApplicableEngines:
-    def test_synchronous_gets_all_three(self):
+    def test_synchronous_gets_all_four(self):
         spec = ScenarioSpec(protocol="consensus", n=4, f=1)
-        assert applicable_engines(spec) == ("fast", "queue", "legacy")
+        assert applicable_engines(spec) == ("vector", "fast", "queue", "legacy")
 
     def test_delayed_gets_queue_and_legacy(self):
         assert applicable_engines(BASE) == ("queue", "legacy")

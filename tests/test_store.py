@@ -163,7 +163,10 @@ def test_persisted_run_round_trips(tmp_path_factory, spec):
         assert loaded is not None
         assert loaded.spec == spec
         assert loaded.spec_digest == spec.digest()
-        assert loaded.summary == json_normalize(outcome.result.metrics.summary())
+        expected_summary = json_normalize(outcome.result.metrics.summary())
+        expected_summary["tally_backend"] = outcome.network.tally_backend()
+        assert loaded.summary == expected_summary
+        assert loaded.summary["tally_backend"] in ("scalar", "numpy")
         assert loaded.metrics() == outcome.result.metrics
         assert loaded.outputs() == outcome.outputs()
         assert [

@@ -1,0 +1,223 @@
+"""Property suite pinning scalar-vs-numpy tally equality.
+
+:mod:`repro.core.tally` promises that its scalar reference implementation
+and the numpy implementation used for :class:`~repro.sim.messages.
+ColumnarInbox` are indistinguishable to protocol code: same counts (as
+built-in ``int``), same keys, and — critically, because parallel consensus
+derives instance-creation order (and through it stored-output pickle
+bytes) from the support dict order — the same first-occurrence *insertion
+order*.  Hypothesis drives both backends over randomised rounds: random
+sender sets, duplicate payloads within a sender's batch, empty rounds,
+mixed payload types, and filtered known-sender subsets.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import tally
+from repro.core.parallel_consensus import (
+    PCInput,
+    PCNoPreference,
+    PCNoStrongPreference,
+    PCPrefer,
+    _classify,
+)
+from repro.core.reliable_broadcast import Echo
+from repro.core.consensus import ConsensusInput
+from repro.core.rotor_coordinator import CandidateGossip, RotorEcho, RotorInit
+from repro.sim.messages import ColumnarInbox, Inbox
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# A deliberately narrow payload universe so collisions (several senders
+# sending equal payloads, one sender repeating itself) are common.
+PAYLOADS = st.one_of(
+    st.builds(Echo, message=st.integers(0, 2), source=st.integers(0, 2)),
+    st.builds(ConsensusInput, value=st.sampled_from(["a", "b", 0, 1])),
+    st.builds(
+        CandidateGossip,
+        adds=st.lists(st.integers(0, 4), min_size=1, max_size=4).map(tuple),
+    ),
+    st.builds(RotorEcho, candidate=st.integers(0, 4)),
+    st.builds(RotorInit),
+    st.builds(
+        PCInput, instance=st.integers(0, 2), value=st.sampled_from(["x", "y"])
+    ),
+    st.builds(
+        PCPrefer, instance=st.integers(0, 2), value=st.sampled_from(["x", "y"])
+    ),
+    st.builds(PCNoPreference, instance=st.integers(0, 2)),
+    st.builds(PCNoStrongPreference, instance=st.integers(0, 2)),
+)
+
+ROUNDS = st.lists(
+    st.tuples(
+        st.integers(0, 9),  # sender
+        st.lists(PAYLOADS, min_size=0, max_size=4),
+    ),
+    min_size=0,
+    max_size=8,
+    unique_by=lambda item: item[0],
+)
+
+
+def build_pair(round_batches):
+    """The same staged round as a ``ColumnarInbox`` and a plain ``Inbox``."""
+
+    staged = [
+        (sender, payload, None)
+        for sender, batch in round_batches
+        for payload in batch
+    ]
+    columnar = ColumnarInbox.from_staged(staged)
+    by_sender: dict[int, list] = {}
+    for sender, payload, _dests in staged:
+        by_sender.setdefault(sender, []).append(payload)
+    plain = Inbox(by_sender)
+    return columnar, plain
+
+
+def assert_int_counts(mapping):
+    for value in mapping.values():
+        assert type(value) is int
+
+
+@COMMON
+@given(ROUNDS)
+def test_columnar_inbox_matches_plain_inbox(round_batches):
+    columnar, plain = build_pair(round_batches)
+    assert isinstance(columnar, ColumnarInbox)
+    assert tally.backend_for(columnar) == "numpy"
+    assert tally.backend_for(plain) == "scalar"
+    assert list(columnar.items()) == list(plain.items())
+    assert columnar.senders == plain.senders
+    assert len(columnar) == len(plain)
+    assert bool(columnar) == bool(plain)
+    for sender, _batch in round_batches:
+        assert columnar.payloads_from(sender) == plain.payloads_from(sender)
+
+
+@COMMON
+@given(ROUNDS)
+def test_value_and_field_support_agree_including_order(round_batches):
+    columnar, plain = build_pair(round_batches)
+    for message_type in (ConsensusInput, PCInput):
+        scalar = tally.value_support(plain, message_type)
+        vector = tally.value_support(columnar, message_type)
+        assert list(scalar.items()) == list(vector.items())
+        assert_int_counts(vector)
+    scalar = tally.field_support(plain, Echo, ("message", "source"))
+    vector = tally.field_support(columnar, Echo, ("message", "source"))
+    assert list(scalar.items()) == list(vector.items())
+    assert_int_counts(vector)
+
+
+@COMMON
+@given(ROUNDS)
+def test_candidate_support_agrees_with_pair_dedup(round_batches):
+    columnar, plain = build_pair(round_batches)
+    scalar = tally.candidate_support(plain, CandidateGossip, RotorEcho)
+    vector = tally.candidate_support(columnar, CandidateGossip, RotorEcho)
+    # A sender backing one candidate through a gossip *and* an echo (or a
+    # duplicated entry inside one ``adds``) must count exactly once.
+    assert scalar == vector
+    assert_int_counts(vector)
+    s_candidates, s_counts = tally.candidate_support_arrays(
+        plain, CandidateGossip, RotorEcho
+    )
+    v_candidates, v_counts = tally.candidate_support_arrays(
+        columnar, CandidateGossip, RotorEcho
+    )
+    assert s_candidates == v_candidates == sorted(scalar)
+    assert s_counts.tolist() == v_counts.tolist()
+
+
+@COMMON
+@given(ROUNDS)
+def test_init_senders_and_scan_index_agree(round_batches):
+    columnar, plain = build_pair(round_batches)
+    scalar_inits = tally.init_senders(plain, RotorInit)
+    vector_inits = tally.init_senders(columnar, RotorInit)
+    assert scalar_inits == vector_inits
+    assert all(type(s) is int for s in vector_inits)
+
+    s_support, s_spoken = tally.scan_index(plain, _classify, memo_key="t")
+    v_support, v_spoken = tally.scan_index(columnar, _classify, memo_key="t")
+    assert list(s_support) == list(v_support)
+    for key in s_support:
+        assert list(s_support[key].items()) == list(v_support[key].items())
+        assert_int_counts(v_support[key])
+    assert s_spoken == v_spoken
+    for speakers in v_spoken.values():
+        assert all(type(s) is int for s in speakers)
+
+
+@COMMON
+@given(ROUNDS)
+def test_control_pairs_preserve_row_order(round_batches):
+    columnar, plain = build_pair(round_batches)
+    bulk = (CandidateGossip, Echo)
+    assert tally.control_pairs(plain, bulk) == tally.control_pairs(columnar, bulk)
+    # All-bulk and no-bulk filters are the degenerate fast paths.
+    assert tally.control_pairs(plain, ()) == tally.control_pairs(columnar, ())
+
+
+@COMMON
+@given(ROUNDS, st.sets(st.integers(0, 9)))
+def test_tallies_agree_on_restricted_subsets(round_batches, allowed):
+    columnar, plain = build_pair(round_batches)
+    allowed = frozenset(allowed)
+    c_view = columnar.restricted(allowed)
+    p_view = plain.restricted(allowed)
+    assert list(c_view.items()) == list(p_view.items())
+    scalar = tally.value_support(p_view, ConsensusInput)
+    vector = tally.value_support(c_view, ConsensusInput)
+    assert list(scalar.items()) == list(vector.items())
+    assert tally.candidate_support(
+        p_view, CandidateGossip, RotorEcho
+    ) == tally.candidate_support(c_view, CandidateGossip, RotorEcho)
+
+
+def test_from_staged_falls_back_for_non_contiguous_or_unhashable():
+    # Interleaved senders: the staging invariant is broken, so the columnar
+    # build must fall back to a plain (but equivalent) Inbox.
+    staged = [(1, RotorInit(), None), (2, RotorInit(), None), (1, RotorEcho(3), None)]
+    inbox = ColumnarInbox.from_staged(staged)
+    assert type(inbox) is Inbox
+    assert inbox.payloads_from(1) == (RotorInit(), RotorEcho(3))
+    # Unhashable payloads cannot join the interned payload table.
+    unhashable = ColumnarInbox.from_staged([(1, [1, 2, 3], None)])
+    assert type(unhashable) is Inbox
+    assert unhashable.payloads_from(1) == ([1, 2, 3],)
+
+
+def test_empty_round_tallies():
+    columnar = ColumnarInbox.from_staged([])
+    plain = Inbox({})
+    assert isinstance(columnar, ColumnarInbox)
+    assert not columnar and not plain
+    assert tally.value_support(columnar, ConsensusInput) == {}
+    assert tally.candidate_support(columnar, CandidateGossip, RotorEcho) == {}
+    assert tally.init_senders(columnar, RotorInit) == ()
+    support, spoken = tally.scan_index(columnar, _classify, memo_key="t")
+    assert support == {} and spoken == {}
+    assert tally.control_pairs(columnar, (Echo,)) == ()
+
+
+def test_profile_accumulates_build_time():
+    tally.reset_profile()
+    before = tally.profile_snapshot()
+    assert before["builds"] == 0
+    columnar, plain = build_pair([(1, [ConsensusInput("a")]), (2, [ConsensusInput("a")])])
+    tally.value_support(columnar, ConsensusInput)
+    tally.value_support(columnar, ConsensusInput)  # memoized: no second build
+    after = tally.profile_snapshot()
+    assert after["builds"] == 1
+    assert after["seconds"] >= 0.0
+    tally.reset_profile()
