@@ -567,7 +567,7 @@ def _build_parallel_consensus(spec: ScenarioSpec, strategy: object) -> SystemSpe
     stop="never",
     churn=True,
     delay=False,  # builds its own network via the churn schedule
-    params=("event_period",),
+    params=("event_period", "membership_wire"),
 )
 def _build_total_order(spec: ScenarioSpec, strategy: object) -> SystemSpec:
     churn = dict(spec.churn or {})
@@ -608,6 +608,7 @@ def _build_total_order(spec: ScenarioSpec, strategy: object) -> SystemSpec:
         strategy=strategy,
         seed=derive(spec.seed, "sys"),
         trace=spec.trace,
+        membership_wire=str(spec.params.get("membership_wire", "unicast")),
     )
     system = SystemSpec(
         network=dynamic.network,

@@ -109,17 +109,23 @@ def run_scenario(
     *,
     strategy: object = None,
     engine: str | None = None,
+    payload_accounting: bool = False,
 ) -> ScenarioOutcome:
     """Build the system for ``spec``, run it under its run policy, return it.
 
     ``engine`` optionally forces a round-loop kernel (``"vector"``/
     ``"fast"``/``"queue"``/``"legacy"``); the kernels are bit-identical,
     so this only matters for benchmarking and for the engine-equivalence
-    suite.
+    suite.  ``payload_accounting`` switches on engine-independent wire
+    byte counting (``payload_bytes``/``peak_payload_bytes`` in the
+    metrics summary) before the run — pure measurement, no effect on the
+    execution itself.
     """
 
     info = REGISTRY.info(spec.protocol)
     system = REGISTRY.build(spec, strategy=strategy, engine=engine)
+    if payload_accounting:
+        system.network.enable_payload_accounting()
     max_rounds = (
         spec.max_rounds if spec.max_rounds is not None else info.default_max_rounds(spec)
     )

@@ -24,13 +24,19 @@ produces bit-identical reports.
 (:mod:`repro.search`) instead of running experiments::
 
     python -m repro.harness.runner --search --search-budget 150 \\
-        --store runs.sqlite --search-out counterexamples.json
+        --search-jobs 4 --store runs.sqlite --search-out counterexamples.json
 
 The search mutates a base spec (``--search-spec PATH`` to supply one as
 JSON; the default hunts consensus-agreement breaks under
-``UniformRandomDelay`` at n=4) and reports confirmed counterexamples;
-with ``--store`` every finding is persisted per engine and replayable by
-run key.
+``UniformRandomDelay`` at n=4) and reports confirmed counterexamples.
+``--search-jobs N`` evaluates each candidate generation across ``N``
+worker processes — findings are bit-identical for any value.
+``--search-objective`` swaps the ranking: ``violations`` (default),
+``rounds`` (worst-case latency) or ``message_volume`` (traffic blowups;
+candidates run under payload accounting).  With ``--store`` every
+candidate evaluation is cached by content-addressed run key (repeat
+searches execute nothing) and every finding is persisted per engine,
+replayable by run key.
 """
 
 from __future__ import annotations
@@ -146,14 +152,19 @@ def run_search(
     escalate_n: Sequence[int] = (8,),
     mutation_ops: Sequence[str] | None = None,
     store: RunStore | None = None,
+    jobs: int = 1,
+    objective: str = "violations",
     out_path: str | None = None,
     stream: TextIO | None = None,
 ):
     """Run one property-guided scenario search and report the findings.
 
-    Returns the :class:`repro.search.SearchResult`; when ``out_path`` is
-    given the result (specs, violations, run keys, escalations) is also
-    written there as JSON so CI can archive counterexamples as artifacts.
+    ``jobs`` fans candidate evaluation out over worker processes
+    (findings are bit-identical for any value); ``objective`` picks the
+    ranking (see :data:`repro.search.OBJECTIVES`).  Returns the
+    :class:`repro.search.SearchResult`; when ``out_path`` is given the
+    result (specs, violations, run keys, escalations) is also written
+    there as JSON so CI can archive counterexamples as artifacts.
     """
 
     from ..api.spec import ScenarioSpec
@@ -165,6 +176,8 @@ def run_search(
         spec,
         seed=seed,
         store=store,
+        jobs=jobs,
+        objective=objective,
         escalate_n=tuple(escalate_n),
         mutation_ops=None if mutation_ops is None else tuple(mutation_ops),
     )
@@ -172,7 +185,8 @@ def run_search(
     result = search.run(budget)
     elapsed = time.perf_counter() - start
     print(
-        f"search: {result.evaluations} scenarios evaluated in {elapsed:.1f}s, "
+        f"search: {result.evaluations} scenarios evaluated in {elapsed:.1f}s "
+        f"({result.executed} executed, {result.cached} from the store), "
         f"{len(result.findings)} confirmed finding(s), "
         f"{result.rejected} rejected at engine confirmation",
         file=stream,
@@ -187,6 +201,14 @@ def run_search(
             f"f={finding.spec.f} delay={finding.spec.delay} "
             f"adversary={finding.spec.adversary} seed={finding.spec.seed}"
             + (f" [{keys}]" if keys else ""),
+            file=stream,
+        )
+    if objective != "violations" and result.best_spec is not None:
+        best = result.best_spec
+        print(
+            f"  best {objective}: score={result.best_score:.3f} @ "
+            f"{best.protocol} n={best.n} f={best.f} delay={best.delay} "
+            f"params={best.params} seed={best.seed}",
             file=stream,
         )
     if out_path:
@@ -272,6 +294,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="restrict the mutation vocabulary (e.g. omit 'delay' to pin "
         "the base delay family); default: all ops",
     )
+    parser.add_argument(
+        "--search-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for candidate evaluation "
+        "(findings are identical for any value)",
+    )
+    parser.add_argument(
+        "--search-objective",
+        default="violations",
+        metavar="NAME",
+        help="candidate ranking: violations (default), rounds, or "
+        "message_volume",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
@@ -280,6 +317,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.search:
         if args.search_budget < 1:
             parser.error("--search-budget must be at least 1")
+        if args.search_jobs < 1:
+            parser.error("--search-jobs must be at least 1")
         base_spec = None
         if args.search_spec:
             with open(args.search_spec, "r", encoding="utf-8") as handle:
@@ -301,6 +340,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 escalate_n=escalate,
                 mutation_ops=ops,
                 store=store,
+                jobs=args.search_jobs,
+                objective=args.search_objective,
                 out_path=args.search_out,
             )
         finally:

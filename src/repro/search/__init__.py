@@ -21,15 +21,20 @@ The pipeline: mutate → validate-small → confirm-large
    uses.  Mutation is driven by a seeded generator: a search is replayable
    from ``(base spec, seed)`` alone.
 
-2. **Validate small.**  Candidates run at small ``n`` (cheap), are scored
-   by :func:`~repro.search.score.evaluate_outcome` — the same property
-   checkers the test suite trusts — and violations become *candidate*
-   findings only.
+2. **Validate small.**  Candidates run at small ``n`` (cheap), under
+   payload accounting, in batches fanned out over worker processes
+   (``jobs=``) — mutation happens between generations through one seeded
+   rng in the parent, so results are bit-identical at any parallelism.
+   Each candidate is measured once
+   (:func:`~repro.search.score.evaluation_row`) and ranked by the chosen
+   objective (:data:`~repro.search.score.OBJECTIVES`): property
+   violations, worst-case rounds, or message volume.  Violations become
+   *candidate* findings only.
 
 3. **Confirm.**  Per biroclick's staged supervisor discipline, a candidate
    is reported only after it reproduces on **every applicable engine**
-   (``fast``/``queue``/``legacy`` for synchronous delay models,
-   ``queue``/``legacy`` otherwise — see
+   (``vector``/``fast``/``queue``/``legacy`` for synchronous delay
+   models, ``queue``/``legacy`` otherwise — see
    :func:`~repro.search.harness.applicable_engines`) with bit-identical
    outputs, and has been re-run at the larger sizes in ``escalate_n``
    (escalation results are recorded either way: a violation that vanishes
@@ -39,8 +44,13 @@ Store persistence contract
 --------------------------
 
 When a :class:`~repro.search.harness.ScenarioSearch` is given a
-:class:`repro.store.RunStore`, every confirmed finding is persisted once
-per engine via :func:`repro.store.record_from_outcome` — full outputs,
+:class:`repro.store.RunStore`, every *candidate evaluation* is persisted
+under its content-addressed run key (with its measurement row under the
+:func:`~repro.search.score.evaluation_row` label), so repeating a search
+against the same store re-executes nothing — the run-key cache is the
+dedupe and the resume mechanism in one.  Every confirmed finding is
+additionally persisted once per engine via
+:func:`repro.store.record_from_outcome` — full outputs,
 decisions and per-round metrics — under the standard content-addressed
 run key (spec digest ‖ engine ‖ code version), plus a finding row under
 the ``row_fn`` label :data:`~repro.search.harness.FINDING_ROW_FN`.
@@ -60,18 +70,28 @@ from .harness import (
     replay_run,
 )
 from .mutate import MUTATION_OPS, SpecMutator
-from .score import PropertyViolation, evaluate_outcome, score_outcome
+from .score import (
+    OBJECTIVES,
+    PropertyViolation,
+    evaluate_outcome,
+    evaluation_row,
+    score_outcome,
+    score_row,
+)
 
 __all__ = [
     "FINDING_ROW_FN",
     "Finding",
     "MUTATION_OPS",
+    "OBJECTIVES",
     "PropertyViolation",
     "ScenarioSearch",
     "SearchResult",
     "SpecMutator",
     "applicable_engines",
     "evaluate_outcome",
+    "evaluation_row",
     "replay_run",
     "score_outcome",
+    "score_row",
 ]

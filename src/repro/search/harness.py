@@ -14,10 +14,17 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..api.spec import ScenarioSpec
-from ..api.sweep import ScenarioOutcome, run_scenario
+from ..api.sweep import ScenarioOutcome, map_jobs, run_scenario
 from ..sim.rng import derive, make_rng
 from .mutate import SpecMutator
-from .score import PropertyViolation, evaluate_outcome, score_outcome
+from .score import (
+    OBJECTIVES,
+    PropertyViolation,
+    evaluate_outcome,
+    evaluation_row,
+    score_outcome,
+    score_row,
+)
 
 __all__ = [
     "FINDING_ROW_FN",
@@ -36,6 +43,12 @@ FINDING_ROW_FN = "repro.search.finding"
 #: mutation parents.
 _FRONTIER_SIZE = 4
 
+#: Candidates mutated per generation.  Fixed — independent of ``jobs`` —
+#: so the rng consumes choices in the same order at any parallelism and
+#: the search trajectory is a pure function of ``(base spec, seed,
+#: budget)``.
+_GENERATION_SIZE = 8
+
 
 def applicable_engines(spec: ScenarioSpec) -> tuple[str, ...]:
     """The engines a spec can run on.
@@ -48,6 +61,22 @@ def applicable_engines(spec: ScenarioSpec) -> tuple[str, ...]:
     if spec.delay == "synchronous":
         return ("vector", "fast", "queue", "legacy")
     return ("queue", "legacy")
+
+
+def _evaluate_candidate(spec_dict: dict) -> dict:
+    """Worker entry point for the store-less parallel path.
+
+    Runs one candidate under payload accounting and returns its
+    normalised :func:`~repro.search.score.evaluation_row` — the same
+    canonical-JSON shape the store-backed path yields, so scores are
+    identical whichever path evaluated the candidate.
+    """
+
+    from ..store.serialize import json_normalize
+
+    spec = ScenarioSpec.from_dict(spec_dict)
+    outcome = run_scenario(spec, payload_accounting=True)
+    return json_normalize(evaluation_row(outcome))
 
 
 def _outcome_signature(outcome: ScenarioOutcome) -> tuple:
@@ -98,6 +127,12 @@ class SearchResult:
     evaluations: int = 0
     #: Candidates whose violations did not survive engine confirmation.
     rejected: int = 0
+    #: Of the evaluations, how many actually executed a simulation …
+    executed: int = 0
+    #: … and how many were served from the run store's cache — the same
+    #: search against the same store executes nothing the second time.
+    #: (Budget burnt on duplicate mutations counts in neither.)
+    cached: int = 0
     best_score: float = float("-inf")
     best_spec: ScenarioSpec | None = None
 
@@ -106,6 +141,8 @@ class SearchResult:
             "findings": [f.as_dict() for f in self.findings],
             "evaluations": self.evaluations,
             "rejected": self.rejected,
+            "executed": self.executed,
+            "cached": self.cached,
             "best_score": self.best_score,
             "best_spec": None if self.best_spec is None else self.best_spec.to_dict(),
         }
@@ -122,11 +159,22 @@ class ScenarioSearch:
         Drives every stochastic choice of the search (parent selection and
         mutation).  ``(base_spec, seed, budget)`` fully determines the run.
     store:
-        Optional :class:`repro.store.RunStore`; confirmed findings are
-        persisted to it once per applicable engine (see package docstring).
+        Optional :class:`repro.store.RunStore`; every candidate
+        evaluation is persisted under its content-addressed run key (so
+        re-running the same search resumes from cache), and confirmed
+        findings additionally persist once per applicable engine (see
+        package docstring).
+    jobs:
+        Worker processes for candidate evaluation.  Each generation of
+        mutated candidates is scored across workers via
+        :func:`~repro.api.sweep.map_jobs`, while the parent process
+        stays the only store writer.  Findings, scores and the mutation
+        trajectory are bit-identical for any ``jobs`` value.
     objective:
-        ``"violations"`` (default) or ``"rounds"`` — see
-        :func:`repro.search.score.score_outcome`.
+        ``"violations"`` (default), ``"rounds"`` or ``"message_volume"``
+        — see :data:`repro.search.score.OBJECTIVES`.  Candidates always
+        run under payload accounting, so byte-based objectives see real
+        wire volumes.
     escalate_n:
         Larger system sizes confirmed findings are re-run at.
     max_n:
@@ -143,14 +191,22 @@ class ScenarioSearch:
         *,
         seed: int = 0,
         store: Any | None = None,
+        jobs: int = 1,
         objective: str = "violations",
         escalate_n: tuple[int, ...] = (),
         max_n: int = 12,
         mutation_ops: tuple[str, ...] | None = None,
         code_version: str | None = None,
     ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {objective!r}; known: {', '.join(OBJECTIVES)}"
+            )
         self.base_spec = base_spec
         self.store = store
+        self.jobs = jobs
         self.objective = objective
         self.escalate_n = tuple(sorted(set(int(n) for n in escalate_n)))
         self._rng = make_rng(derive(seed, "scenario-search"))
@@ -262,27 +318,78 @@ class ScenarioSearch:
 
     # -- the loop -----------------------------------------------------------
 
-    def run(self, budget: int) -> SearchResult:
-        """Evaluate up to ``budget`` candidate scenarios (confirmation and
-        escalation runs are extra, bounded by the number of findings)."""
+    def _evaluate_rows(self, specs: list[ScenarioSpec], result: SearchResult) -> list[dict]:
+        """Measurement rows for ``specs``, fanned out over ``self.jobs``.
 
-        if budget < 1:
-            raise ValueError("budget must be at least 1")
-        result = SearchResult()
-        frontier: list[tuple[float, ScenarioSpec]] = []
+        With a store this is a :class:`~repro.store.ResumableSweep` batch:
+        rows the store already holds (same spec, same code fingerprint)
+        are served without execution, everything else runs across worker
+        processes and is persisted by this (parent) process — the single
+        writer.  Without a store the batch goes straight through
+        :func:`~repro.api.sweep.map_jobs`.  Either way rows come back in
+        ``specs`` order.
+        """
 
-        def consider(spec: ScenarioSpec) -> None:
+        if not specs:
+            return []
+        if self.store is not None:
+            from ..store import ResumableSweep
+
+            sweep = ResumableSweep(
+                self.store,
+                jobs=self.jobs,
+                engine=None,
+                code_version=self._resolve_code_version(),
+            )
+            report = sweep.run_specs(
+                specs, row_fn=evaluation_row, payload_accounting=True
+            )
+            result.executed += report.ran
+            result.cached += report.skipped
+            return report.rows
+        payloads = [spec.to_dict() for spec in specs]
+        rows = list(map_jobs(_evaluate_candidate, payloads, self.jobs))
+        result.executed += len(rows)
+        return rows
+
+    def _run_generation(
+        self,
+        specs: list[ScenarioSpec],
+        frontier: list[tuple[float, ScenarioSpec]],
+        result: SearchResult,
+    ) -> None:
+        """Evaluate one generation and fold it into the search state.
+
+        Every slot burns one unit of budget; slots whose spec was already
+        seen (duplicate mutations — a saturated space must still
+        terminate) burn it without executing.  The fold happens in slot
+        order — (generation, mutation index) — so frontier evolution,
+        best-candidate tracking and finding order never depend on which
+        worker finished first.
+        """
+
+        fresh: list[tuple[int, ScenarioSpec, str]] = []
+        for index, spec in enumerate(specs):
             digest = spec.digest()
-            if digest in self._seen:
-                return
-            self._seen.add(digest)
-            outcome, violations, score = self._evaluate(spec)
-            result.evaluations += 1
+            if digest not in self._seen:
+                self._seen.add(digest)
+                fresh.append((index, spec, digest))
+        rows = self._evaluate_rows([spec for _, spec, _ in fresh], result)
+        row_by_slot = {index: row for (index, _, _), row in zip(fresh, rows)}
+        result.evaluations += len(specs)
+
+        for index, spec, digest in fresh:
+            row = row_by_slot[index]
+            score = score_row(row, objective=self.objective)
             if score > result.best_score:
                 result.best_score, result.best_spec = score, spec
             frontier.append((score, spec))
             frontier.sort(key=lambda item: -item[0])
             del frontier[_FRONTIER_SIZE:]
+            violations = [
+                PropertyViolation(v["property"], v["detail"])
+                for v in row["violations"]
+            ]
             if violations and digest not in self._reported:
                 finding = self._confirm(spec, violations)
                 if finding is None:
@@ -291,19 +398,37 @@ class ScenarioSearch:
                     self._reported.add(digest)
                     result.findings.append(finding)
 
-        consider(self.base_spec)
-        while result.evaluations < budget:
-            parent = self._pick_parent(frontier)
-            candidate = parent
-            for _ in range(int(self._rng.integers(1, 3))):
-                candidate = self.mutator.mutate(candidate)
-            before = result.evaluations
-            consider(candidate)
-            if result.evaluations == before:
-                # Duplicate spec: burn one unit of budget anyway so a
-                # saturated space still terminates.
-                result.evaluations += 1
-        return result
+    def run(self, budget: int) -> SearchResult:
+        """Evaluate up to ``budget`` candidate scenarios (confirmation and
+        escalation runs are extra, bounded by the number of findings).
+
+        The loop is generational: the base spec seeds generation zero,
+        then each generation mutates :data:`_GENERATION_SIZE` candidates
+        from the current frontier (sequentially, through the search's
+        single rng), evaluates the batch across ``jobs`` worker processes
+        and folds the measurements back in candidate order.  Mutation
+        happens between generations — never concurrently with evaluation
+        — so the whole trajectory, not just the final findings, is
+        bit-identical for any ``jobs`` value.
+        """
+
+        if budget < 1:
+            raise ValueError("budget must be at least 1")
+        result = SearchResult()
+        frontier: list[tuple[float, ScenarioSpec]] = []
+
+        generation = [self.base_spec]
+        while True:
+            self._run_generation(generation, frontier, result)
+            remaining = budget - result.evaluations
+            if remaining <= 0:
+                return result
+            generation = []
+            for _ in range(min(_GENERATION_SIZE, remaining)):
+                candidate = self._pick_parent(frontier)
+                for _ in range(int(self._rng.integers(1, 3))):
+                    candidate = self.mutator.mutate(candidate)
+                generation.append(candidate)
 
 
 def replay_run(store: Any, run_key: str) -> bool:

@@ -24,12 +24,44 @@ from ..analysis.properties import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..api.sweep import ScenarioOutcome
 
-__all__ = ["PropertyViolation", "evaluate_outcome", "score_outcome", "VIOLATION_WEIGHT"]
+__all__ = [
+    "OBJECTIVES",
+    "PropertyViolation",
+    "evaluate_outcome",
+    "evaluation_row",
+    "score_outcome",
+    "score_row",
+    "MESSAGE_WEIGHT",
+    "VIOLATION_WEIGHT",
+]
 
 #: Score contribution of one confirmed property violation.  Far above any
 #: achievable round count, so a violating scenario always outranks a
 #: merely slow one.
 VIOLATION_WEIGHT = 1_000.0
+
+#: The scoring modes a search can rank candidates by.
+#:
+#: ``"violations"``
+#:     Broken safety properties dominate, executed rounds break ties.
+#: ``"rounds"``
+#:     Worst-case round counts only.
+#: ``"message_volume"``
+#:     Traffic blowups: delivered message count dominates (every message
+#:     pays a fixed envelope/handling cost, and the classic blowups —
+#:     the rotor init wave, per-joiner membership acks — are count
+#:     explosions), with total payload bytes and the peak single payload
+#:     refining the ranking among equal-count candidates.  Candidates
+#:     must run under ``payload_accounting`` for the byte columns to be
+#:     non-zero — the search harness enables it on every evaluation.
+OBJECTIVES = ("violations", "rounds", "message_volume")
+
+#: Score weight of one delivered message under ``"message_volume"``.
+#: One message outweighs a megabyte of payload spread across others, so
+#: count explosions rank above byte-for-byte chatter; only a multi-GiB
+#: payload blowup can outrank a count difference, and in that regime the
+#: bytes *are* the story.
+MESSAGE_WEIGHT = 1_000.0
 
 
 @dataclass(frozen=True)
@@ -189,6 +221,46 @@ def evaluate_outcome(outcome: "ScenarioOutcome") -> list[PropertyViolation]:
     return checker(outcome) if checker else []
 
 
+def evaluation_row(outcome: "ScenarioOutcome") -> dict:
+    """The search's per-candidate measurement row.
+
+    One row function serves every objective, so a candidate cached in the
+    run store under this row is scorable against any objective without
+    re-execution.  Picklable and JSON-normalisable by construction — it
+    is the worker-side return value of the parallel search evaluator.
+    The byte columns are only meaningful when the run executed under
+    ``payload_accounting`` (the search harness always enables it).
+    """
+
+    summary = outcome.result.metrics.summary()
+    return {
+        "violations": [v.as_dict() for v in evaluate_outcome(outcome)],
+        "rounds": outcome.rounds,
+        "stop_reason": outcome.result.stop_reason,
+        "messages": outcome.messages,
+        "payload_bytes": int(summary.get("payload_bytes", 0)),
+        "peak_payload_bytes": int(summary.get("peak_payload_bytes", 0)),
+    }
+
+
+def score_row(row: dict, *, objective: str = "violations") -> float:
+    """Rank a candidate from its :func:`evaluation_row`; higher is better."""
+
+    if objective not in OBJECTIVES:
+        raise ValueError(
+            f"unknown objective {objective!r}; known: {', '.join(OBJECTIVES)}"
+        )
+    if objective == "rounds":
+        return float(row["rounds"])
+    if objective == "message_volume":
+        return (
+            MESSAGE_WEIGHT * float(row.get("messages", 0))
+            + float(row.get("payload_bytes", 0)) / 2**20
+            + float(row.get("peak_payload_bytes", 0)) / 2**30
+        )
+    return VIOLATION_WEIGHT * len(row["violations"]) + float(row["rounds"])
+
+
 def score_outcome(
     outcome: "ScenarioOutcome",
     violations: list[PropertyViolation] | None = None,
@@ -200,12 +272,15 @@ def score_outcome(
     ``objective="violations"`` weights broken properties far above
     everything, with executed rounds as a tiebreaker (slower runs are
     closer to the synchrony boundary); ``objective="rounds"`` searches for
-    worst-case round counts only.
+    worst-case round counts only; ``objective="message_volume"`` ranks by
+    traffic — message count first, wire bytes as refinement (the outcome
+    must have run under payload accounting for the byte terms).
     """
 
-    if objective not in ("violations", "rounds"):
-        raise ValueError(f"unknown objective {objective!r}")
-    if objective == "rounds":
-        return float(outcome.rounds)
-    found = evaluate_outcome(outcome) if violations is None else violations
-    return VIOLATION_WEIGHT * len(found) + float(outcome.rounds)
+    if objective not in OBJECTIVES:
+        raise ValueError(
+            f"unknown objective {objective!r}; known: {', '.join(OBJECTIVES)}"
+        )
+    if objective == "violations" and violations is not None:
+        return VIOLATION_WEIGHT * len(violations) + float(outcome.rounds)
+    return score_row(evaluation_row(outcome), objective=objective)

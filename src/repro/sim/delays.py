@@ -15,6 +15,7 @@ E6 uses.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -149,10 +150,10 @@ class HeavyTailDelay(DelayModel):
     max_delay: int = 20
 
     def __post_init__(self) -> None:
-        if self.alpha <= 0:
-            raise ValueError("alpha must be positive")
-        if self.scale <= 0:
-            raise ValueError("scale must be positive")
+        if not (math.isfinite(self.alpha) and self.alpha > 0):
+            raise ValueError("alpha must be positive and finite")
+        if not (math.isfinite(self.scale) and self.scale > 0):
+            raise ValueError("scale must be positive and finite")
         if self.max_delay < 1:
             raise ValueError("max_delay must be at least 1")
 
@@ -163,8 +164,13 @@ class HeavyTailDelay(DelayModel):
         sent_round: int,
         rng: np.random.Generator,
     ) -> int:
-        extra = int(self.scale * rng.pareto(self.alpha))
-        return sent_round + 1 + min(extra, self.max_delay - 1)
+        # Truncate while still a float: a deep-tail draw (tiny alpha, or a
+        # large scale) can exceed float precision — even overflow to inf —
+        # and int() would raise long before the min() could cap it.  For
+        # in-range draws int(min(x, m)) == min(int(x), m), so the clamp
+        # order does not change any previously valid delivery.
+        extra = min(self.scale * rng.pareto(self.alpha), float(self.max_delay - 1))
+        return sent_round + 1 + int(extra)
 
 
 @dataclass

@@ -120,10 +120,10 @@ def _run_case_record(payload: tuple) -> tuple[RunRecord, dict]:
     identically without re-hashing the source tree.
     """
 
-    spec_dict, row_fn, engine, code_version, segment_events = payload
+    spec_dict, row_fn, engine, code_version, segment_events, accounting = payload
     spec = ScenarioSpec.from_dict(spec_dict)
     start = time.perf_counter()
-    outcome = run_scenario(spec, engine=engine)
+    outcome = run_scenario(spec, engine=engine, payload_accounting=accounting)
     elapsed = time.perf_counter() - start
     record = record_from_outcome(
         outcome,
@@ -194,6 +194,30 @@ class ResumableSweep:
         if isinstance(sweeps, SweepSpec):
             sweeps = [sweeps]
         scenarios = [spec for sweep in sweeps for spec in sweep.scenarios()]
+        return self.run_specs(scenarios, row_fn=row_fn, on_cell=on_cell)
+
+    def run_specs(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        *,
+        row_fn: RowFn | None = None,
+        on_cell: CellCallback | None = None,
+        payload_accounting: bool = False,
+    ) -> SweepReport:
+        """Execute (or serve from the store) an explicit scenario list.
+
+        The execution engine underneath :meth:`run`, exposed for callers
+        whose scenarios are not grid expansions — the scenario search
+        hands its mutated candidate batches here.  Rows come back in
+        ``scenarios`` order, duplicate run keys execute once, and
+        ``payload_accounting`` switches on wire-byte measurement for the
+        fresh executions (cache-served rows carry whatever accounting
+        their original execution ran under — callers that depend on byte
+        columns must use a row function that records them, so cached and
+        fresh rows stay interchangeable).
+        """
+
+        scenarios = list(scenarios)
         extract = row_fn or _default_row
         fn_name = row_fn_name(extract)
         keys = [
@@ -224,6 +248,7 @@ class ResumableSweep:
                 self.engine,
                 self.code_version,
                 self.segment_events,
+                payload_accounting,
             )
             for i in payload_indices
         ]

@@ -146,6 +146,26 @@ class SweepJob:
             self._done = True
             self._cond.notify_all()
 
+    def ensure_finished(self, *, error: str) -> None:
+        """Force a terminal state if the job does not have one yet.
+
+        A registered job that never reaches ``finish`` strands every
+        stream subscriber: ``events()`` blocks forever waiting for more
+        events.  This is the safety net for producer-side failures that
+        bypass the normal completion path — the executor thread failing
+        to start at all, or dying on something other than ``Exception``.
+        Idempotent; does nothing once the job is already done.
+        """
+
+        with self._cond:
+            if self._done:
+                return
+            self._events.append({"event": "error", "message": error})
+            self.status = "failed"
+            self.error = error
+            self._done = True
+            self._cond.notify_all()
+
     # -- consumer side (stream handlers) -----------------------------------
 
     def events(self) -> Iterator[dict]:
@@ -231,7 +251,14 @@ class ScenarioService:
             name=f"scenario-service-{job.job_id}",
             daemon=True,
         )
-        worker.start()
+        try:
+            worker.start()
+        except Exception as exc:
+            # The job is already registered; without a terminal event a
+            # later GET /sweeps/<id>/stream would hang forever on a job
+            # that can never progress.
+            job.ensure_finished(error=f"failed to start sweep thread: {exc}")
+            raise
         return job
 
     def _execute(
@@ -285,6 +312,13 @@ class ScenarioService:
         except Exception as exc:  # noqa: BLE001 - reported to the client
             job.emit({"event": "error", "message": str(exc)})
             job.finish(status="failed", error=str(exc))
+        finally:
+            # Non-Exception exits (SystemExit, KeyboardInterrupt delivered
+            # to the worker thread) would otherwise leave the job running
+            # forever with subscribers blocked; no-op on the normal paths.
+            job.ensure_finished(
+                error="sweep thread exited without reporting completion"
+            )
 
     # -- query endpoints ----------------------------------------------------
 
@@ -485,6 +519,12 @@ class _Handler(BaseHTTPRequestHandler):
             job = self.service.launch_sweep(payload)
         except (ValueError, KeyError, TypeError) as exc:
             self._send_error(400, str(exc))
+            return
+        except RuntimeError as exc:
+            # launch_sweep re-raises thread-start failures after marking
+            # the job failed; that is a server-side condition, not a bad
+            # request, and must not dump through handle_error.
+            self._send_error(500, str(exc))
             return
         self._send_json(
             {

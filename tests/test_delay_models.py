@@ -10,7 +10,11 @@ validation, and queue/legacy bit-identity for ``HeavyTailDelay`` and
 
 from __future__ import annotations
 
+import math
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.api import ScenarioSpec
 from repro.api.sweep import run_scenario
@@ -19,6 +23,7 @@ from repro.sim import (
     HeavyTailDelay,
     JitteredSynchronousDelay,
     PartitionDelay,
+    UniformRandomDelay,
     make_rng,
     split_into_groups,
 )
@@ -223,6 +228,81 @@ class TestNewModels:
             )
 
         assert fingerprint(outcomes["queue"]) == fingerprint(outcomes["legacy"])
+
+
+class TestDeliveryBoundsProperty:
+    """Hypothesis contract for every randomised model: a message sent at
+    round ``r`` is delivered in ``[r + 1, r + bound]`` whatever the
+    parameters — including the degenerate corner (``max_delay=1``,
+    extreme ``alpha``/``scale``) where the heavy-tail model used to
+    overflow ``int()`` or overshoot its own bound."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        alpha=st.floats(min_value=0.01, max_value=100.0),
+        scale=st.floats(min_value=1e-6, max_value=1e308),
+        max_delay=st.integers(min_value=1, max_value=16),
+        sent=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_heavy_tail_delivery_in_bounds(self, alpha, scale, max_delay, sent, seed):
+        model = HeavyTailDelay(alpha=alpha, scale=scale, max_delay=max_delay)
+        rng = make_rng(seed)
+        for _ in range(10):
+            delivered = model.delivery_round(1, 2, sent, rng)
+            assert sent + 1 <= delivered <= sent + max_delay
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        probability=st.floats(min_value=0.0, max_value=1.0),
+        max_extra=st.integers(min_value=1, max_value=8),
+        sent=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_jittered_delivery_in_bounds(self, probability, max_extra, sent, seed):
+        model = JitteredSynchronousDelay(
+            jitter_probability=probability, max_extra=max_extra
+        )
+        rng = make_rng(seed)
+        for _ in range(10):
+            delivered = model.delivery_round(1, 2, sent, rng)
+            assert sent + 1 <= delivered <= sent + 1 + max_extra
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        max_delay=st.integers(min_value=1, max_value=16),
+        sent=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_uniform_random_delivery_in_bounds(self, max_delay, sent, seed):
+        model = UniformRandomDelay(max_delay=max_delay)
+        rng = make_rng(seed)
+        for _ in range(10):
+            delivered = model.delivery_round(1, 2, sent, rng)
+            assert sent + 1 <= delivered <= sent + max_delay
+
+    def test_heavy_tail_max_delay_one_is_synchronous(self):
+        # The boundary that used to overflow: with max_delay=1 every
+        # delivery lands at sent+1 no matter how wild the tail draw is.
+        model = HeavyTailDelay(alpha=0.01, scale=1e300, max_delay=1)
+        rng = make_rng(0)
+        assert all(model.delivery_round(1, 2, r, rng) == r + 1 for r in range(50))
+
+    @pytest.mark.parametrize("bad", [
+        dict(alpha=math.nan),
+        dict(alpha=math.inf),
+        dict(alpha=-1.0),
+        dict(scale=math.nan),
+        dict(scale=math.inf),
+        dict(scale=0.0),
+    ])
+    def test_degenerate_heavy_tail_params_rejected(self, bad):
+        with pytest.raises(ValueError):
+            HeavyTailDelay(**bad)
+
+    def test_degenerate_jitter_probability_rejected(self):
+        with pytest.raises(ValueError):
+            JitteredSynchronousDelay(jitter_probability=math.nan)
 
 
 class TestSplitIntoGroups:

@@ -22,8 +22,10 @@ from repro.search import (
     SpecMutator,
     applicable_engines,
     evaluate_outcome,
+    evaluation_row,
     replay_run,
     score_outcome,
+    score_row,
 )
 from repro.sim.rng import make_rng
 from repro.store import RunStore
@@ -167,6 +169,32 @@ class TestScoring:
         with pytest.raises(ValueError, match="objective"):
             score_outcome(outcome, objective="speed")
 
+    def test_evaluation_row_scores_like_the_outcome(self):
+        outcome = run_scenario(BASE)
+        row = evaluation_row(outcome)
+        for objective in ("violations", "rounds", "message_volume"):
+            assert score_row(row, objective=objective) == score_outcome(
+                outcome, objective=objective
+            )
+        with pytest.raises(ValueError, match="objective"):
+            score_row(row, objective="speed")
+
+    def test_message_volume_counts_messages_first(self):
+        # One extra delivered message outranks a within-reason byte bump.
+        light = {"messages": 101, "payload_bytes": 0, "peak_payload_bytes": 0}
+        chatty = {
+            "messages": 100,
+            "payload_bytes": 50_000_000,
+            "peak_payload_bytes": 10_000,
+        }
+        volume = lambda row: score_row(row, objective="message_volume")
+        assert volume(light) > volume(chatty)
+        # Equal counts: total bytes, then the peak payload, break the tie.
+        heavier = dict(chatty, payload_bytes=50_000_001)
+        assert volume(heavier) > volume(chatty)
+        peakier = dict(chatty, peak_payload_bytes=20_000)
+        assert volume(peakier) > volume(chatty)
+
 
 # ---------------------------------------------------------------------------
 # The search harness
@@ -217,7 +245,7 @@ class TestScenarioSearch:
         store = RunStore(str(tmp_path / "search.sqlite"))
         try:
             search = ScenarioSearch(
-                BASE, seed=1, store=store, mutation_ops=PINNED_OPS,
+                BASE, seed=1, store=store, jobs=2, mutation_ops=PINNED_OPS,
                 code_version="test",
             )
             result = search.run(60)
@@ -226,14 +254,38 @@ class TestScenarioSearch:
             assert set(finding.run_keys) == set(finding.engines)
             for engine, run_key in finding.run_keys.items():
                 # The whole point: a stored counterexample reproduces
-                # bit-identically from its persisted spec, per engine.
+                # bit-identically from its persisted spec, per engine —
+                # including counterexamples found by worker processes.
                 assert replay_run(store, run_key), (engine, run_key)
                 row = store.get_row(run_key, FINDING_ROW_FN)
                 assert row is not None and row["violations"]
-            # Findable by spec digest alone.
+            # Findable by spec digest alone.  Besides the per-engine
+            # confirmation runs, the candidate evaluation itself is
+            # persisted as an "auto" run (the search's resume cache).
             stored = store.query(spec_digest=finding.spec_digest)
-            assert {r.engine for r in stored} == set(finding.engines)
+            assert {r.engine for r in stored} == set(finding.engines) | {"auto"}
             assert stored[0].spec == finding.spec
+        finally:
+            store.close()
+
+    def test_same_store_twice_executes_nothing_new(self, tmp_path):
+        store = RunStore(str(tmp_path / "resume.sqlite"))
+        try:
+            kwargs = dict(
+                seed=1, store=store, mutation_ops=PINNED_OPS, code_version="test"
+            )
+            first = ScenarioSearch(BASE, jobs=2, **kwargs).run(30)
+            second = ScenarioSearch(BASE, jobs=1, **kwargs).run(30)
+            assert first.executed > 0
+            # Run-key dedupe observable: the repeat search is served
+            # entirely from the store, at any jobs count …
+            assert second.executed == 0
+            assert second.cached == first.executed
+            # … and returns the same findings and best candidate.
+            assert [f.spec_digest for f in second.findings] == [
+                f.spec_digest for f in first.findings
+            ]
+            assert second.best_score == first.best_score
         finally:
             store.close()
 
@@ -252,6 +304,93 @@ class TestScenarioSearch:
         with pytest.raises(ValueError, match="budget"):
             search.run(0)
 
+    def test_bad_jobs_and_objective_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ScenarioSearch(BASE, jobs=0, code_version="test")
+        with pytest.raises(ValueError, match="objective"):
+            ScenarioSearch(BASE, objective="speed", code_version="test")
+
+
+class TestParallelSearch:
+    """The tentpole contract: fan-out changes wall-clock, never results."""
+
+    def test_findings_bit_identical_across_jobs(self):
+        results = {
+            jobs: ScenarioSearch(
+                BASE, seed=1, jobs=jobs, mutation_ops=PINNED_OPS,
+                code_version="test",
+            ).run(40).as_dict()
+            for jobs in (1, 2, 4)
+        }
+        serial = json.dumps(results[1], sort_keys=True)
+        assert json.dumps(results[2], sort_keys=True) == serial
+        assert json.dumps(results[4], sort_keys=True) == serial
+
+    def test_parallel_found_counterexample_replays(self, tmp_path):
+        # A finding surfaced by a worker process must replay from the
+        # parent-written store exactly like a serially-found one.
+        store = RunStore(str(tmp_path / "parallel.sqlite"))
+        try:
+            result = ScenarioSearch(
+                BASE, seed=1, store=store, jobs=4, mutation_ops=PINNED_OPS,
+                code_version="test",
+            ).run(40)
+            assert result.findings
+            for finding in result.findings:
+                for run_key in finding.run_keys.values():
+                    assert replay_run(store, run_key)
+        finally:
+            store.close()
+
+
+class TestMessageVolumeSearch:
+    """The planted traffic blowup: churned total-order whose membership
+    acks go out un-delta-coded (one unicast per member per joiner)."""
+
+    CHURNED = ScenarioSpec(
+        protocol="total-order",
+        n=6,
+        f=0,
+        adversary="silent",
+        seed=0,
+        max_rounds=30,
+        churn={
+            "pattern": "flash-crowd",
+            "rounds": 30,
+            "burst_round": 4,
+            "burst_size": 3,
+            "burst_byzantine_fraction": 0.0,
+        },
+        params={"membership_wire": "delta"},
+    )
+
+    def test_refinds_undelta_coded_membership_as_top_candidate(self):
+        # Start from the delta-coded wire; the only mutations available
+        # are reseeds and wire flips, so topping the volume ranking means
+        # the search singled out the unicast ack traffic specifically.
+        search = ScenarioSearch(
+            self.CHURNED,
+            seed=0,
+            jobs=2,
+            objective="message_volume",
+            mutation_ops=("wire", "seed"),
+            code_version="test",
+        )
+        result = search.run(16)
+        assert result.best_spec is not None
+        assert result.best_spec.params.get("membership_wire") == "unicast"
+
+    def test_wire_modes_order_the_same_events(self):
+        # The wire format trades traffic, never outputs: both modes order
+        # the exact same chain at every correct node, and the unicast mode
+        # delivers strictly more messages.
+        outcomes = {}
+        for wire in ("unicast", "delta"):
+            spec = self.CHURNED.replace(params={"membership_wire": wire})
+            outcomes[wire] = run_scenario(spec, payload_accounting=True)
+        assert outcomes["unicast"].outputs() == outcomes["delta"].outputs()
+        assert outcomes["unicast"].messages > outcomes["delta"].messages
+
 
 # ---------------------------------------------------------------------------
 # CLI
@@ -266,6 +405,7 @@ class TestSearchCli:
             "--search",
             "--search-budget", "80",
             "--search-ops", ",".join(PINNED_OPS),
+            "--search-jobs", "2",
             "--seed", "1",
             "--store", str(store_path),
             "--search-out", str(out),

@@ -8,13 +8,14 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
 import pytest
 
 from repro.store.serve import build_parser
-from repro.store.service import create_server
+from repro.store.service import ScenarioService, create_server
 
 SWEEP_REQUEST = {
     "sweep": {"protocol": "consensus", "grid": {"n": [4, 5]}, "max_rounds": 30}
@@ -141,6 +142,49 @@ def test_failed_sweep_reports_error(server):
     job = get_json(server, f"/sweeps/{launch['id']}")
     assert job["status"] == "failed"
     assert job["error"]
+
+
+def test_sweep_that_fails_before_subscribers_attach_still_streams(server):
+    # The race this pins down: the sweep thread dies before anyone opens
+    # the stream.  The stream must still replay the error and terminate —
+    # not hang waiting on a job that will never progress.
+    launch = post_json(
+        server, "/sweeps", {"sweep": {"protocol": "no-such-protocol", "n": 4}}
+    )
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        if get_json(server, f"/sweeps/{launch['id']}")["status"] == "failed":
+            break
+        time.sleep(0.01)
+    else:
+        pytest.fail("sweep never reached a terminal state")
+    # Only now — with the job long dead — does the first subscriber attach.
+    events = read_stream(server, launch["stream"])
+    assert events and events[-1]["event"] == "error"
+
+
+def test_thread_start_failure_does_not_strand_subscribers(tmp_path, monkeypatch):
+    # Harder variant: the executor thread never starts at all (e.g. the
+    # host hits its thread limit).  The job is already registered when
+    # start() raises, so without a terminal event every later stream
+    # subscriber would block forever.
+    service = ScenarioService(tmp_path / "runs.db")
+
+    def refuse_to_start(self):
+        raise RuntimeError("can't start new thread")
+
+    monkeypatch.setattr(threading.Thread, "start", refuse_to_start)
+    with pytest.raises(RuntimeError, match="can't start new thread"):
+        service.launch_sweep(SWEEP_REQUEST)
+    monkeypatch.undo()
+
+    job = service.get_job("sweep-1")
+    assert job is not None
+    assert job.status == "failed"
+    assert "failed to start sweep thread" in (job.error or "")
+    # events() replays the error and terminates instead of blocking.
+    events = list(job.events())
+    assert events == [{"event": "error", "message": job.error}]
 
 
 TRACED_SWEEP = {
